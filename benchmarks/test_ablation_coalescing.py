@@ -1,0 +1,60 @@
+"""Ablation: what coalescing is worth on a pure streaming kernel.
+
+Runs the SAXPY kernel against an artificially strided layout and
+compares against the unit-stride version — isolating the G80's
+16-word-line rule that Section 3.2 warns about.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.bench.tables import format_table
+from repro.cuda import Device, kernel, launch
+
+
+def make_kernel(stride):
+    @kernel(f"saxpy_stride{stride}", regs_per_thread=6)
+    def k(ctx, x, y, n):
+        i = ctx.global_tid() * stride
+        ctx.address_ops(2)
+        xv = ctx.ld_global(x, i)
+        yv = ctx.ld_global(y, i)
+        ctx.st_global(y, i, ctx.fma(2.5, xv, yv))
+    return k
+
+
+def run_sweep(n=1 << 16):
+    rows = []
+    base = None
+    for stride in (1, 2, 4, 8, 16):
+        dev = Device()
+        x = dev.to_device(np.zeros(n * stride, np.float32), "x")
+        y = dev.to_device(np.zeros(n * stride, np.float32), "y")
+        res = launch(make_kernel(stride), (n // 256,), (256,), (x, y, n),
+                     device=dev, functional=False, trace_blocks=2)
+        est = res.estimate()
+        if base is None:
+            base = est.seconds
+        rows.append((stride, round(res.trace.coalesced_fraction, 2),
+                     round(est.seconds * 1e6, 1),
+                     round(est.seconds / base, 2), est.bound))
+    return rows
+
+
+def test_coalescing_ablation(benchmark, record_table, out_dir):
+    rows = run_once(benchmark, run_sweep)
+    text = format_table(
+        ["stride", "coalesced frac", "time (us)", "slowdown", "bound"],
+        rows, title="Ablation: stream coalescing")
+    print("\n" + text)
+    (out_dir / "ablation_coalescing.txt").write_text(text + "\n")
+    by_stride = {r[0]: r for r in rows}
+    assert by_stride[1][1] == 1.0          # unit stride coalesces
+    assert by_stride[2][1] == 0.0          # any other stride does not
+    # strided access costs well over the unit-stride baseline even at
+    # stride 2, and grows several-fold by stride 16
+    assert by_stride[2][3] > 1.5
+    assert by_stride[16][3] > 3.0
+    # slowdown is monotone in stride (bus traffic grows)
+    slow = [r[3] for r in rows]
+    assert all(a <= b + 1e-9 for a, b in zip(slow, slow[1:]))

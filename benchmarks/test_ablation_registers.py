@@ -1,0 +1,36 @@
+"""Ablation: the register-count occupancy cliff (Sections 3.2/4.2).
+
+"Some versions of this code use 11 registers per thread instead of 10.
+To run three thread blocks, this requires ... 8448 registers, which is
+larger than an SM's register file."  We sweep registers per thread for
+256-thread blocks and check the cliff structure.
+"""
+
+from conftest import run_once
+from repro.bench.tables import format_table
+from repro.sim.occupancy import compute_occupancy
+
+
+def sweep(threads=256, max_regs=40):
+    rows = []
+    for regs in range(4, max_regs + 1):
+        occ = compute_occupancy(threads, regs, smem_per_block=2048)
+        rows.append((regs, occ.blocks_per_sm, occ.active_threads_per_sm,
+                     occ.limiter))
+    return rows
+
+
+def test_register_cliffs(benchmark, record_table, out_dir):
+    rows = run_once(benchmark, sweep)
+    text = format_table(["regs/thread", "blocks/SM", "threads/SM", "limit"],
+                        rows, title="Ablation: register occupancy cliff")
+    print("\n" + text)
+    (out_dir / "ablation_registers.txt").write_text(text + "\n")
+    by_regs = {r[0]: r for r in rows}
+    assert by_regs[10][1] == 3      # the paper's matmul case
+    assert by_regs[11][1] == 2      # the Section 4.2 cliff
+    assert by_regs[16][1] == 2
+    assert by_regs[17][1] == 1      # next cliff
+    # monotone non-increasing
+    blocks = [r[1] for r in rows]
+    assert all(a >= b for a, b in zip(blocks, blocks[1:]))

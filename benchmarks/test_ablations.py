@@ -1,0 +1,105 @@
+"""Ablations from Section 5 prose claims:
+
+* MRI: "the SFUs execute [trig] much faster than even CPU fast math
+  libraries.  This accounts for approximately 30% of the speedup."
+* RC5: "Performance of the code if a native modulus-shift were
+  available is estimated to be several times higher."
+* matmul: unroll-factor sweep (Section 4.3 discusses partial factors).
+"""
+
+from collections import Counter
+
+from conftest import run_once
+from repro.apps import get_app
+from repro.bench.tables import format_table
+from repro.sim.timing import estimate_time
+from repro.trace.instr import InstrClass
+
+
+def mri_sfu_ablation():
+    """Re-estimate MRI-Q with trig lowered to SP instruction sequences
+    (10 instructions per sin/cos, the no-SFU world)."""
+    app = get_app("mri-q")
+    run = app.run(app.default_workload("full"), functional=False)
+    launch = run.launches[0]
+    with_sfu = run.kernel_speedup
+
+    trace = launch.trace
+    no_sfu = trace.scaled(1.0)
+    sfu_warps = no_sfu.warp_insts.pop(InstrClass.SFU, 0.0)
+    sfu_threads = no_sfu.thread_insts.pop(InstrClass.SFU, 0.0)
+    # a range-limited polynomial sin/cos costs ~5 SP instructions
+    no_sfu.warp_insts[InstrClass.FMA] += sfu_warps * 5
+    no_sfu.thread_insts[InstrClass.FMA] += sfu_threads * 5
+    est = estimate_time(no_sfu, launch.num_blocks, launch.threads_per_block,
+                        launch.kernel.regs_per_thread,
+                        launch.smem_bytes_per_block, spec=launch.spec)
+    total_launches = len(run.launches)
+    gpu_no_sfu = est.seconds * total_launches
+    without_sfu = run.cpu_kernel_seconds / gpu_no_sfu
+    return with_sfu, without_sfu
+
+
+def test_mri_sfu_share(benchmark, out_dir):
+    with_sfu, without_sfu = run_once(benchmark, mri_sfu_ablation)
+    share = 1.0 - without_sfu / with_sfu
+    text = format_table(
+        ["config", "kernel speedup"],
+        [("SFU trig", round(with_sfu, 1)),
+         ("SP-sequence trig", round(without_sfu, 1)),
+         ("share of speedup from SFUs", f"{100 * share:.0f}%")],
+        title="Ablation: MRI-Q SFU contribution (paper: ~30%)")
+    print("\n" + text)
+    (out_dir / "ablation_mri_sfu.txt").write_text(text + "\n")
+    assert 0.15 < share < 0.55        # paper: approximately 30%
+
+
+def rc5_rotate_ablation():
+    app = get_app("rc5-72")
+    emulated = app.run({"nkeys": 1 << 14, "secret_index": 7},
+                       functional=False)
+    native = app.run({"nkeys": 1 << 14, "secret_index": 7,
+                      "native_rotate": True}, functional=False)
+    return (emulated.gpu_kernel_seconds, native.gpu_kernel_seconds)
+
+
+def test_rc5_native_rotate(benchmark, out_dir):
+    emulated, native = run_once(benchmark, rc5_rotate_ablation)
+    ratio = emulated / native
+    text = format_table(
+        ["variant", "kernel time (ms)"],
+        [("emulated rotates", round(emulated * 1e3, 3)),
+         ("native modulus-shift", round(native * 1e3, 3)),
+         ("speedup from native rotate", f"{ratio:.2f}x")],
+        title="Ablation: RC5 modulus-shift emulation "
+              "(paper: 'several times higher')")
+    print("\n" + text)
+    (out_dir / "ablation_rc5_rotate.txt").write_text(text + "\n")
+    assert ratio > 1.5
+
+
+def unroll_factor_sweep():
+    """Partial-unroll arithmetic for the tiled matmul inner loop."""
+    from repro.opt import estimate_unroll_savings
+    rows = []
+    for factor in (1, 2, 4, 8, None):
+        if factor == 1:
+            saving = 0.0
+        else:
+            saving = estimate_unroll_savings(
+                insts_per_iter=8.0, trip_count=16,
+                bookkeeping_per_iter=4.0, factor=factor)
+        label = "full" if factor is None else f"x{factor}"
+        rows.append((label, f"{100 * saving:.1f}%"))
+    return rows
+
+
+def test_unroll_factor_sweep(benchmark, out_dir):
+    rows = run_once(benchmark, unroll_factor_sweep)
+    text = format_table(["unroll factor", "instructions removed"],
+                        rows, title="Ablation: unroll-factor arithmetic")
+    print("\n" + text)
+    (out_dir / "ablation_unroll.txt").write_text(text + "\n")
+    removed = [float(r[1].rstrip("%")) for r in rows]
+    assert removed == sorted(removed)
+    assert removed[-1] == 50.0        # 4 of 8 instructions per iter

@@ -1,0 +1,15 @@
+"""Benchmark: the Section 3.2 architecture constants."""
+
+import pytest
+
+from conftest import run_once
+from repro.arch import DEFAULT_DEVICE, geforce_8800_gtx
+
+
+def test_peak_rates(benchmark):
+    spec = run_once(benchmark, geforce_8800_gtx)
+    assert spec.peak_mad_gflops == pytest.approx(345.6)
+    assert spec.peak_gflops_with_sfu == pytest.approx(388.8)
+    assert spec.dram_bandwidth_gbs == pytest.approx(86.4)
+    assert spec.num_sps == 128
+    assert spec.max_active_threads == 12288

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 4 — matmul GFLOPS across tile sizes x unrolling."""
+
+from conftest import run_once
+from repro.bench import run_figure4
+
+
+def test_figure4_tile_sweep(benchmark, record_table):
+    result = run_once(benchmark, run_figure4, n=2048, trace_blocks=2)
+    record_table(result)
+    g = {row[0]: row[1] for row in result.rows}
+    # the paper's qualitative shape:
+    # 4x4 tiles are no better than the untiled kernel
+    assert g["4x4"] <= g["not tiled"] * 1.1
+    # performance rises with tile size
+    assert g["4x4"] < g["8x8"] < g["16x16"]
+    # 16x16 is the best tiled-only configuration
+    assert g["16x16"] == max(v for k, v in g.items() if "unroll" not in k)
+    # unrolling helps 16x16 the most (roughly 2x)
+    gain16 = g["16x16 unrolled"] / g["16x16"]
+    for tile in ("4x4", "8x8", "12x12"):
+        assert g[f"{tile} unrolled"] / g[tile] < gain16
+    assert 1.6 < gain16 < 2.4

@@ -1,0 +1,47 @@
+"""Benchmark: transparent scaling across the GeForce 8 family.
+
+Section 1 (principle 4): the execution model "enables the execution of
+the same CUDA program across processor family members with a varying
+number of cores, and makes the hardware scalable."  The same unrolled
+matmul kernel is modelled on the 8600 GTS / 8800 GTS / 8800 GTX.
+"""
+
+from conftest import run_once
+from repro.apps.matmul import MatMul
+from repro.arch.device import (
+    geforce_8600_gts,
+    geforce_8800_gts,
+    geforce_8800_gtx,
+)
+from repro.bench.tables import format_table
+
+
+def run_family(n=1024):
+    rows = []
+    for spec in (geforce_8600_gts(), geforce_8800_gts(),
+                 geforce_8800_gtx()):
+        app = MatMul(spec)
+        run = app.run({"n": n, "variant": "tiled_unrolled", "tile": 16,
+                       "trace_blocks": 2}, functional=False)
+        est = run.launches[0].estimate()
+        rows.append((spec.name, spec.num_sps,
+                     round(spec.peak_mad_gflops, 1),
+                     round(est.gflops, 1),
+                     round(est.gflops / spec.peak_mad_gflops, 3)))
+    return rows
+
+
+def test_family_scaling(benchmark, out_dir):
+    rows = run_once(benchmark, run_family)
+    text = format_table(
+        ["device", "SPs", "peak GFLOPS", "matmul GFLOPS", "efficiency"],
+        rows, title="Scaling study: one kernel, three family members")
+    print("\n" + text)
+    (out_dir / "scaling_family.txt").write_text(text + "\n")
+    gflops = [r[3] for r in rows]
+    # absolute performance scales with the machine ...
+    assert gflops[0] < gflops[1] < gflops[2]
+    # ... while the fraction of peak stays roughly constant: the same
+    # program exploits each family member without retuning
+    eff = [r[4] for r in rows]
+    assert max(eff) - min(eff) < 0.15

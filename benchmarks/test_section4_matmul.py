@@ -1,0 +1,28 @@
+"""Benchmark: the Section 4 matrix-multiplication study at 4096x4096.
+
+Regenerates the paper's headline numbers:
+naive 10.58 / tiled 46.49 / tiled+unrolled 91.14 / prefetch 87.10
+GFLOPS, the 43.2 and 93.72 GFLOPS potential-throughput estimates, and
+the 173 GB/s bandwidth-demand calculation.
+"""
+
+from conftest import run_once
+from repro.bench import run_section4
+from repro.data import paper
+
+
+def test_section4_study(benchmark, record_table):
+    result = run_once(benchmark, run_section4, n=4096, trace_blocks=2)
+    record_table(result)
+    measured = {row[0]: row[1] for row in result.rows}
+    for variant, ref in paper.MATMUL_GFLOPS.items():
+        ratio = measured[variant] / ref.value
+        assert 0.85 < ratio < 1.15, (variant, measured[variant], ref.value)
+    # ordering: naive < tiled < prefetch < unrolled
+    assert measured["naive"] < measured["tiled"]
+    assert measured["tiled"] < measured["prefetch"]
+    assert measured["prefetch"] < measured["tiled_unrolled"]
+    # the naive kernel must be diagnosed as memory-bound
+    bounds = {row[0]: row[7] for row in result.rows}
+    assert bounds["naive"] == "memory bandwidth"
+    assert bounds["tiled_unrolled"] == "instruction issue"

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 1 (memory spaces of the GeForce 8800)."""
+
+from conftest import run_once
+from repro.bench import run_table1
+
+
+def test_table1_memory_spaces(benchmark, record_table):
+    result = run_once(benchmark, run_table1)
+    record_table(result)
+    names = [row[0] for row in result.rows]
+    assert names == ["Global", "Shared", "Constant", "Texture", "Local"]
+    # read-only flags match the paper's table
+    ro = {row[0]: row[4] for row in result.rows}
+    assert ro["Constant"] == "yes" and ro["Texture"] == "yes"
+    assert ro["Global"] == "no"

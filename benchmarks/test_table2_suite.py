@@ -1,0 +1,16 @@
+"""Benchmark: Table 2 — the application suite inventory."""
+
+from conftest import run_once
+from repro.bench import run_table2
+from repro.apps import suite_names
+
+
+def test_table2_suite(benchmark, record_table):
+    result = run_once(benchmark, run_table2)
+    record_table(result)
+    apps = [row[0] for row in result.rows]
+    assert apps == suite_names()
+    assert len(apps) == 12
+    # FDTD's prose-exact 16.4% kernel fraction is in the table
+    fdtd = next(r for r in result.rows if r[0] == "fdtd")
+    assert fdtd[3].startswith("16.4%")

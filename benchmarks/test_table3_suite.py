@@ -1,0 +1,37 @@
+"""Benchmark: Table 3 — suite characteristics and speedups.
+
+The abstract's claim is the headline check: kernel speedups between
+~10.5X and ~457X, application speedups between ~1.16X and ~431X, with
+FDTD at the bottom (Amdahl: 16.4% kernel fraction) and MRI-Q on top.
+"""
+
+from conftest import run_once
+from repro.bench import run_table3
+
+
+def test_table3_suite(benchmark, record_table):
+    result = run_once(benchmark, run_table3, scale="full")
+    record_table(result)
+    rows = {row[0]: row for row in result.rows}
+    kernel = {k: float(r[8]) for k, r in rows.items()}
+    app = {k: float(r[10]) for k, r in rows.items()}
+
+    # suite-wide ranges (paper: 10.5-457 kernel, 1.16-431 app)
+    assert 8 < min(kernel.values()) < 16
+    assert 350 < max(kernel.values()) < 600
+    assert 1.1 < min(app.values()) < 1.35
+    assert 250 < max(app.values()) < 550
+
+    # the extremes land on the paper's applications
+    assert max(kernel, key=kernel.get) == "mri-q"
+    assert min(app, key=app.get) == "fdtd"
+
+    # the MRI/CP/RPES group leads, the bandwidth-bound group trails
+    for fast in ("mri-q", "mri-fhd", "cp", "rpes"):
+        assert kernel[fast] > 60
+    for slow in ("lbm", "fem", "fdtd", "saxpy", "rc5-72"):
+        assert kernel[slow] < 40
+
+    # H.264: transfers comparable to GPU execution; tiny app speedup
+    h264 = rows["h264"]
+    assert app["h264"] < 1.6

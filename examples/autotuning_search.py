@@ -1,0 +1,59 @@
+"""Automatic optimization-space exploration (the paper's Section 6).
+
+"It is also possible to get stuck in local maximums of performance
+when attempting to follow a particular optimization strategy. ...
+Better tools ... that allow programmers to ... automatically
+experiment with their performance effects would greatly reduce the
+optimization effort."
+
+This example runs that tool over the matmul variant space
+(tile size x unrolling x prefetching): an exhaustive model-driven
+sweep, identification of every local maximum, and greedy hill-climbing
+runs that demonstrate the trap — from the naive kernel the first
+tiling step (4x4) is a *regression*, so a one-step-at-a-time tuner
+never finds the 16x16-unrolled global optimum.
+
+Run:  python examples/autotuning_search.py [n]
+"""
+
+import sys
+
+from repro.bench.tables import format_table
+from repro.sim.autotuner import MatmulAutotuner, Point
+
+
+def label(p: Point) -> str:
+    return p.config.label if p.tile else "not tiled"
+
+
+def main(n: int = 1024) -> None:
+    tuner = MatmulAutotuner(n=n, trace_blocks=2)
+
+    print(f"exhaustive sweep of {len(tuner.space())} matmul variants "
+          f"at {n}x{n}\n" + "=" * 60)
+    result = tuner.exhaustive()
+    rows = sorted(((label(p), round(g, 2)) for p, g in
+                   result.evaluations.items()), key=lambda r: -r[1])
+    print(format_table(["configuration", "GFLOPS"], rows))
+
+    print(f"\nglobal optimum: {label(result.best)} "
+          f"({result.best_gflops:.1f} GFLOPS)")
+    print("local maxima under one-transformation moves:")
+    for p, g in result.local_maxima:
+        kind = "GLOBAL" if result.is_global(p) else "local trap"
+        print(f"  {label(p):16s} {g:7.2f} GFLOPS  [{kind}]")
+
+    print("\ngreedy hill-climbing (Section 6's cautionary tale)")
+    print("-" * 60)
+    for start in (Point(0, False, False), Point(8, False, False),
+                  Point(16, True, True)):
+        end, gflops, path = tuner.hill_climb(start)
+        trail = " -> ".join(label(p) for p in path)
+        verdict = "reached the global optimum" if result.is_global(end) \
+            else f"STUCK at a local maximum ({gflops:.1f} GFLOPS)"
+        print(f"  from {label(start):12s}: {trail}\n"
+              f"    {verdict}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1024)

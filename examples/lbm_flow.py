@@ -1,0 +1,54 @@
+"""Lattice-Boltzmann fluid flow and the Figure 5 layout study.
+
+Runs the D2Q9 LBM functionally (checking mass conservation and
+agreement with the NumPy reference), then replays the paper's
+memory-layout experiment: cell-major (array-of-structures, the layout
+the SPEC code arrives with), plane-major (structure-of-arrays), and
+the texture-cache path that Section 5.2 credits with a 2.8X kernel
+improvement over global-only access.
+
+Run:  python examples/lbm_flow.py
+"""
+
+import numpy as np
+
+from repro.apps.lbm import Lbm, lbm_reference
+from repro.bench import run_figure5
+
+
+def main():
+    app = Lbm()
+
+    # ---- physics sanity at small scale -------------------------------
+    wl = {"nx": 64, "ny": 32, "steps": 8, "total_steps": 8,
+          "layout": "soa"}
+    run = app.run(wl, functional=True)
+    f = run.outputs["f"]
+    ref = lbm_reference(64, 32, 8)
+    np.testing.assert_allclose(f, ref, rtol=1e-3, atol=1e-4)
+    mass0 = lbm_reference(64, 32, 0).sum()
+    print("D2Q9 lattice-Boltzmann, 64x32 torus, 8 steps")
+    print(f"  matches NumPy reference: OK")
+    print(f"  mass conservation: initial {mass0:.3f}, "
+          f"final {f.sum():.3f} "
+          f"(drift {abs(f.sum() - mass0) / mass0:.2e})")
+    u_max = np.abs(f).max()
+    print(f"  max |f| = {u_max:.4f} (stable)")
+
+    # ---- the paper's layout study -------------------------------------
+    print("\nFigure 5 — global load access patterns")
+    print(run_figure5(nx=256, ny=256).render())
+
+    # ---- time-sliced kernel structure ----------------------------------
+    full = app.run(app.default_workload("full"), functional=False)
+    print(f"\ntime-sliced execution: {len(full.launches)} traced kernel "
+          f"launches stand in for "
+          f"{int(full.workload['total_steps'])} steps")
+    print(f"  every step streams the whole lattice through DRAM — "
+          f"bottleneck: {full.bottleneck}")
+    print(f"  kernel speedup {full.kernel_speedup:.1f}x, app speedup "
+          f"{full.app_speedup:.1f}x (paper: ~12.5x / ~12.3x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — a reproduction of Ryoo et al., *Optimization Principles and
+Application Performance Evaluation of a Multithreaded GPU Using CUDA*
+(PPoPP 2008).
+
+The package provides, in pure Python/NumPy:
+
+* :mod:`repro.arch` — the GeForce 8800 GTX hardware description;
+* :mod:`repro.cuda` — a CUDA-like programming model (grids, blocks,
+  shared/constant/texture memory, ``__syncthreads``) whose kernels both
+  compute real results and emit architectural traces;
+* :mod:`repro.sim` — calibrated performance models (coalescing, bank
+  conflicts, occupancy, issue/SFU/bandwidth/latency bottlenecks) plus
+  an Opteron-248-class CPU baseline model;
+* :mod:`repro.apps` — the paper's 12-application suite and the
+  Section 4 matrix-multiplication optimization study;
+* :mod:`repro.bench` — runners that regenerate every table and figure.
+
+Quickstart::
+
+    from repro.bench import run_section4
+    print(run_section4(n=1024).render())
+"""
+
+__version__ = "1.0.0"
+
+from . import arch, cuda, sim, trace  # noqa: F401
+
+__all__ = ["arch", "cuda", "sim", "trace", "__version__"]

@@ -1,0 +1,23 @@
+"""The ported application suite (paper Tables 2/3 + the Section 4 study).
+
+Access applications through the registry::
+
+    from repro.apps import get_app, suite_names
+    app = get_app("mri-q")
+    run = app.verify()                 # functional check vs NumPy
+    run = app.run(app.default_workload("full"), functional=False)
+    run.kernel_speedup, run.app_speedup, run.bottleneck
+"""
+
+from .base import Application, AppRun
+from .registry import ALL_APPS, SUITE, get_app, iter_apps, suite_names
+
+__all__ = [
+    "Application",
+    "AppRun",
+    "ALL_APPS",
+    "SUITE",
+    "get_app",
+    "iter_apps",
+    "suite_names",
+]

@@ -1,0 +1,201 @@
+"""H.264 — full-search motion estimation kernel.
+
+The suite's heaviest port: "the most extreme case was H.264, which
+involved a large-scale code transformation to extract the motion
+estimation kernel from non-parallel application code" (34811 source
+lines, 194 kernel lines, only 35% of serial time in the kernel).
+Table 3's standout observation: "One interesting case is H.264, which
+**spends more time in data transfer than GPU execution**" — every
+frame pair ships to the device and the full SAD arrays ship back to
+the host encoder, which still makes all mode decisions serially.
+
+The kernel: one thread block per 16x16 macroblock; each thread owns
+one candidate motion vector in the (2R+1)^2 search window and
+accumulates the sum of absolute differences over the macroblock's 256
+pixels.  The current macroblock is staged in shared memory (every
+thread reads the same pixel -> broadcast); the reference frame is read
+through the **texture cache**, whose 2D locality is exactly what the
+overlapping candidate windows exhibit.  A shared-memory tree reduction
+then picks the best vector, and the full SAD array is also written out
+for the host's rate-distortion decisions (the transfer-heavy part).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..cuda import Device, kernel, launch
+from ..sim.cpumodel import CpuCostParams
+from .base import Application, AppRun
+
+MB = 16               # macroblock size
+R = 8                 # search range: candidates in [-R, +R]^2
+CAND = 2 * R + 1      # 17 -> 289 candidates/threads per block
+
+
+def make_frames(width: int, height: int, seed: int = 77
+                ) -> Tuple[np.ndarray, np.ndarray]:
+    """Synthetic video pair: a textured reference frame and a current
+    frame that is a shifted, lightly noised copy (so true motion
+    vectors exist and SAD search finds coherent motion)."""
+    rng = np.random.default_rng(seed)
+    base = rng.integers(0, 256, (height + 32, width + 32)).astype(np.float32)
+    # smooth the noise into texture so SAD has structure
+    for _ in range(2):
+        base = 0.25 * (np.roll(base, 1, 0) + np.roll(base, -1, 0)
+                       + np.roll(base, 1, 1) + np.roll(base, -1, 1))
+    ref = base[16:16 + height, 16:16 + width].copy()
+    cur = base[16 - 3:16 - 3 + height, 16 + 2:16 + 2 + width].copy()
+    cur += rng.normal(0, 1.0, cur.shape).astype(np.float32)
+    return cur.astype(np.float32), ref.astype(np.float32)
+
+
+def sad_reference(cur: np.ndarray, ref: np.ndarray
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Exhaustive-search ground truth: per-MB SAD array and best MV."""
+    h, w = cur.shape
+    mbs_y, mbs_x = h // MB, w // MB
+    sads = np.full((mbs_y, mbs_x, CAND, CAND), np.inf, dtype=np.float32)
+    for by in range(mbs_y):
+        for bx in range(mbs_x):
+            mb = cur[by * MB:(by + 1) * MB, bx * MB:(bx + 1) * MB]
+            for dy in range(-R, R + 1):
+                for dx in range(-R, R + 1):
+                    y0, x0 = by * MB + dy, bx * MB + dx
+                    if y0 < 0 or x0 < 0 or y0 + MB > h or x0 + MB > w:
+                        continue
+                    cand = ref[y0:y0 + MB, x0:x0 + MB]
+                    sads[by, bx, dy + R, dx + R] = np.abs(mb - cand).sum()
+    best = sads.reshape(mbs_y, mbs_x, -1).argmin(axis=2)
+    return sads, best.astype(np.int64)
+
+
+def motion_search_kernel():
+    """One macroblock per block; one candidate vector per thread."""
+
+    @kernel("h264_motion_search", regs_per_thread=15,
+            notes="current MB in shared memory, reference frame via "
+                  "texture cache, tree reduction for the best vector")
+    def me(ctx, cur, ref_tex, sads_out, best_out, width, height):
+        t = ctx.nthreads          # CAND*CAND candidates
+        bx, by = ctx.bx, ctx.by
+        ctx.address_ops(4)
+        dx = ctx.tid % CAND - R
+        dy = ctx.tid // CAND - R
+
+        mb_sh = ctx.shared_alloc(MB * MB, np.float32, "mb")
+        # cooperative staging of the current macroblock (256 pixels by
+        # the first 256 threads)
+        with ctx.masked(ctx.tid < MB * MB):
+            px = ctx.tid % MB
+            py = ctx.tid // MB
+            src = (by * MB + py) * width + bx * MB + px
+            ctx.st_shared(mb_sh, ctx.tid, ctx.ld_global(cur, src))
+        ctx.sync()
+
+        y0 = by * MB + dy
+        x0 = bx * MB + dx
+        in_frame = ((y0 >= 0) & (x0 >= 0)
+                    & (y0 + MB <= height) & (x0 + MB <= width))
+        acc = np.full(t, np.float32(np.inf), dtype=np.float32)
+        with ctx.masked(in_frame):
+            zero_acc = np.zeros(t, dtype=np.float32)
+            for p in range(MB * MB):
+                px, py = p % MB, p // MB
+                m = ctx.ld_shared(mb_sh, np.full(t, p))       # broadcast
+                rpix = ctx.ld_tex(ref_tex, (y0 + py) * width + x0 + px)
+                diff = ctx.fsub(m, rpix)
+                # |diff| is free: abs is an input modifier on the G80
+                zero_acc = ctx.fadd(zero_acc, np.abs(diff))
+                ctx.loop_tail(1)
+            acc = ctx.merge(zero_acc, acc)
+
+        # write the full SAD array back for the host encoder
+        out = (by * ctx.gridDim.x + bx) * t + ctx.tid
+        ctx.st_global(sads_out, out, acc)
+
+        # tree reduction over candidates to find the argmin
+        red_v = ctx.shared_alloc(512, np.float32, "red_v")
+        red_i = ctx.shared_alloc(512, np.int32, "red_i")
+        ctx.st_shared(red_v, ctx.tid, acc)
+        ctx.st_shared(red_i, ctx.tid, ctx.tid)
+        ctx.sync()
+        stride = 256
+        while stride >= 1:
+            with ctx.masked((ctx.tid < stride) & (ctx.tid + stride < t)):
+                other = ctx.ld_shared(red_v, ctx.tid + stride)
+                mine = ctx.ld_shared(red_v, ctx.tid)
+                oidx = ctx.ld_shared(red_i, ctx.tid + stride)
+                midx = ctx.ld_shared(red_i, ctx.tid)
+                better = other < mine
+                ctx.st_shared(red_v, ctx.tid,
+                              ctx.select(better, other, mine))
+                ctx.st_shared(red_i, ctx.tid,
+                              ctx.select(better, oidx, midx))
+            ctx.sync()
+            stride //= 2
+        with ctx.masked(ctx.tid == 0):
+            winner = ctx.ld_shared(red_i, np.zeros(t, dtype=np.int64))
+            ctx.st_global(best_out, np.full(t, by * ctx.gridDim.x + bx),
+                          winner)
+
+    return me
+
+
+class H264(Application):
+    """H.264 encoder motion-estimation offload."""
+
+    name = "h264"
+    description = "full-search motion estimation for an H.264 encoder"
+    kernel_fraction = 0.35            # Table 2: 35%
+    # the serial baseline is the scalar JM reference encoder (the
+    # paper extracted the kernel from "non-parallel application code")
+    cpu_params = CpuCostParams(simd=False, miss_fraction=0.0, op_scale=0.5)
+
+    def default_workload(self, scale: str = "test") -> Dict[str, object]:
+        if scale == "full":
+            return {"width": 320, "height": 256, "frames": 4}
+        return {"width": 64, "height": 48, "frames": 1}
+
+    def reference(self, workload: Dict[str, object]) -> Dict[str, np.ndarray]:
+        cur, ref = make_frames(int(workload["width"]),
+                               int(workload["height"]))
+        sads, best = sad_reference(cur, ref)
+        return {"best": best}
+
+    def run(self, workload: Dict[str, object],
+            device: Optional[Device] = None,
+            functional: bool = True) -> AppRun:
+        w, h = int(workload["width"]), int(workload["height"])
+        frames = int(workload.get("frames", 1))
+        dev = self._make_device(device)
+        cur, ref = make_frames(w, h)
+        mbs_x, mbs_y = w // MB, h // MB
+        kern = motion_search_kernel()
+        tb = int(workload.get("trace_blocks", 2))
+
+        launches = []
+        best = None
+        for _ in range(frames):
+            # per frame pair: ship both frames, run, ship all SADs back
+            d_cur = dev.to_device(cur, "cur_frame")
+            d_ref = dev.to_texture(ref, "ref_frame")
+            d_sads = dev.alloc(mbs_x * mbs_y * CAND * CAND, np.float32,
+                               "sads")
+            d_best = dev.alloc(mbs_x * mbs_y, np.int32, "best_mv")
+            launches.append(launch(
+                kern, (mbs_x, mbs_y), (CAND * CAND,),
+                (d_cur, d_ref, d_sads, d_best, w, h),
+                device=dev, functional=functional, trace_blocks=tb))
+            dev.from_device(d_sads)          # the transfer-heavy readback
+            if functional and best is None:
+                best = dev.from_device(d_best).reshape(mbs_y, mbs_x)
+            for arr in (d_best, d_sads, d_ref, d_cur):
+                dev.free(arr)
+
+        outputs = {}
+        if functional:
+            outputs["best"] = best.astype(np.int64)
+        return self._finish(workload, launches, dev, outputs)

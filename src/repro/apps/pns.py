@@ -1,0 +1,177 @@
+"""PNS — Petri net simulation.
+
+Table 2: 322 source / 160 kernel lines, >99% serial time in the
+kernel.  Section 5.1 uses PNS to contrast with the time-sliced codes:
+"PNS does not have this issue because a separate simulation is
+performed per thread", and names its limit: "LBM and PNS are limited
+in the number of threads that can be run due to memory capacity
+constraints: shared memory for the former, **global memory for the
+latter**."
+
+Each thread runs an independent stochastic simulation of a marked
+Petri net (a token ring of P places with stochastic transition firing
+driven by a per-thread LCG).  Every simulation owns a P-place marking
+vector in **global memory**; the number of simulations resident on the
+device is bounded by DRAM capacity, so large experiments run in
+batches (the Table 3 "global memory capacity" bottleneck).  Markings
+are stored simulation-minor (structure-of-arrays) so that the
+per-thread state accesses of a half-warp coalesce.
+
+The LCG and firing rule are deterministic, so the NumPy reference
+reproduces the GPU results bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cuda import Device, kernel, launch
+from ..sim.cpumodel import CpuCostParams
+from .base import Application, AppRun
+
+#: LCG parameters (numerical recipes), 32-bit arithmetic
+LCG_A = 1664525
+LCG_C = 1013904223
+MASK32 = (1 << 32) - 1
+
+
+def pns_reference(nsims: int, places: int, steps: int) -> np.ndarray:
+    """Vectorized NumPy simulation, bit-identical to the kernel."""
+    marking = np.zeros((places, nsims), dtype=np.int64)
+    marking[0, :] = places                     # all tokens on place 0
+    state = np.arange(nsims, dtype=np.int64) * 2654435761 % (1 << 32)
+    for _ in range(steps):
+        state = (state * LCG_A + LCG_C) & MASK32
+        src = (state >> 16) % places
+        dst = (src + 1) % places
+        tokens = marking[src, np.arange(nsims)]
+        fire = tokens > 0
+        amount = np.where(fire, 1 + ((state >> 8) & 1), 0)
+        amount = np.minimum(amount, tokens)
+        marking[src, np.arange(nsims)] -= amount
+        marking[dst, np.arange(nsims)] += amount
+    return marking
+
+
+def pns_kernel(places: int, steps: int):
+    """Run ``steps`` transitions of one Petri-net simulation per thread."""
+
+    @kernel("pns_simulate", regs_per_thread=16,
+            notes="independent per-thread simulations; per-simulation "
+                  "marking state in global memory (capacity-bound)")
+    def pns(ctx, marking, summary, nsims):
+        sim = ctx.global_tid()
+        ctx.address_ops(2)
+        valid = sim < nsims
+        safe = np.where(valid, sim, 0)
+        # per-thread LCG seed (same mixing as the reference)
+        state = ctx.iand(ctx.imul(safe, 2654435761), MASK32)
+        with ctx.masked(valid):
+            # initial marking is produced on the device: all tokens on
+            # place 0 (no host->device transfer of simulation state)
+            ctx.st_global(marking, safe, np.int64(places))
+            for _ in range(steps):
+                state = ctx.iand(
+                    ctx.iadd(ctx.imul(state, LCG_A), LCG_C), MASK32)
+                src = ctx.ishr(state, 16) % places
+                ctx.address_ops(1)                  # modulus by places
+                dst = (src + 1) % places
+                ctx.address_ops(2)
+                tokens = ctx.ld_global(marking, src * nsims + safe)
+                fire = tokens > 0
+                amount = ctx.select(fire, 1 + ((state >> 8) & 1), 0)
+                ctx.address_ops(2)                  # shift/and for amount
+                amount = ctx.merge(np.minimum(amount, tokens), amount)
+                ctx.st_global(marking, src * nsims + safe,
+                              tokens - amount)
+                dst_tokens = ctx.ld_global(marking, dst * nsims + safe)
+                ctx.st_global(marking, dst * nsims + safe,
+                              dst_tokens + amount)
+                ctx.loop_tail(1)
+            # only a per-simulation summary statistic returns to the
+            # host (the serial app aggregates firing statistics)
+            final = ctx.ld_global(marking, safe)
+            ctx.st_global(summary, safe, final)
+
+    return pns
+
+
+class Pns(Application):
+    """Batched independent Petri-net simulations."""
+
+    name = "pns"
+    description = "stochastic Petri net simulation, one net per thread"
+    kernel_fraction = 0.998           # Table 2: >99%
+    # The serial baseline is a general Petri-net engine (linked-list
+    # marking sets, transition lookups) that executes several times the
+    # instructions of the GPU port's specialized inner loop; op_scale
+    # above 1 reflects that, as the paper's CPU code was the original
+    # application, not a hand-tightened LCG loop.
+    cpu_params = CpuCostParams(simd=False, miss_fraction=0.0, op_scale=3.0,
+                               load_penalty_cycles=8.0)
+    #: Table 3 names this resource, not a pipeline, as the limiter.
+    bottleneck_note = "global memory capacity (simulations per batch)"
+
+    BLOCK = 256
+
+    def default_workload(self, scale: str = "test") -> Dict[str, object]:
+        if scale == "full":
+            # each simulation owns `places` int64 slots -> batch size is
+            # DRAM-capacity bound (the Table 3 bottleneck)
+            return {"nsims": 1 << 16, "places": 64, "steps": 64}
+        return {"nsims": 512, "places": 8, "steps": 16}
+
+    def reference(self, workload: Dict[str, object]) -> Dict[str, np.ndarray]:
+        marking = pns_reference(int(workload["nsims"]),
+                                int(workload["places"]),
+                                int(workload["steps"]))
+        return {"marking": marking, "summary": marking[0].copy()}
+
+    def max_sims_per_batch(self, places: int) -> int:
+        """How many simulations fit in device memory at once."""
+        bytes_per_sim = places * 8           # int64 markings
+        budget = int(self.spec.dram_capacity_bytes * 0.9)
+        return max(self.BLOCK, (budget // bytes_per_sim) // self.BLOCK
+                   * self.BLOCK)
+
+    def run(self, workload: Dict[str, object],
+            device: Optional[Device] = None,
+            functional: bool = True) -> AppRun:
+        nsims = int(workload["nsims"])
+        places = int(workload["places"])
+        steps = int(workload["steps"])
+        dev = self._make_device(device)
+        batch = min(nsims, self.max_sims_per_batch(places))
+        kern = pns_kernel(places, steps)
+        tb = int(workload.get("trace_blocks", 2))
+
+        launches: List = []
+        results = []
+        summaries = []
+        done = 0
+        while done < nsims:
+            width = min(batch, nsims - done)
+            d_marking = dev.alloc((places, width), np.int64,
+                                  f"marking[{done}]")
+            d_summary = dev.alloc(width, np.int64, f"summary[{done}]")
+            grid = -(-width // self.BLOCK)
+            launches.append(launch(kern, (grid,), (self.BLOCK,),
+                                   (d_marking, d_summary, width), device=dev,
+                                   functional=functional, trace_blocks=tb))
+            if functional:
+                summaries.append(dev.from_device(d_summary))
+                # untimed debug readback for verification only — the
+                # real application never retrieves full markings
+                results.append(d_marking.to_host().copy())
+            done += width
+            # the batch's state is freed before the next batch
+            dev.free(d_summary)
+            dev.free(d_marking)
+
+        outputs = {}
+        if functional:
+            outputs["marking"] = np.concatenate(results, axis=1)
+            outputs["summary"] = np.concatenate(summaries)
+        return self._finish(workload, launches, dev, outputs)

@@ -1,0 +1,70 @@
+"""Registry of the ported application suite (paper Tables 2 and 3).
+
+``SUITE`` maps the paper's application names to their implementations;
+:func:`get_app` instantiates one, and :func:`suite_names` lists them in
+the paper's Table 2 order.  The matrix-multiplication study of
+Section 4 is included under ``"matmul"`` (the paper lists it in
+Table 3 "for comparison").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Type
+
+from ..arch.device import DeviceSpec, DEFAULT_DEVICE
+from .base import Application
+from .matmul import MatMul
+from .h264 import H264
+from .lbm import Lbm
+from .rc5 import Rc5
+from .fem import Fem
+from .rpes import Rpes
+from .pns import Pns
+from .saxpy import Saxpy
+from .tpacf import Tpacf
+from .fdtd import Fdtd
+from .mri_q import MriQ
+from .mri_fhd import MriFhd
+from .cp import CoulombicPotential
+
+#: Table 2 order.
+SUITE: Dict[str, Type[Application]] = {
+    "h264": H264,
+    "lbm": Lbm,
+    "rc5-72": Rc5,
+    "fem": Fem,
+    "rpes": Rpes,
+    "pns": Pns,
+    "saxpy": Saxpy,
+    "tpacf": Tpacf,
+    "fdtd": Fdtd,
+    "mri-q": MriQ,
+    "mri-fhd": MriFhd,
+    "cp": CoulombicPotential,
+}
+
+#: Table 3 adds matmul "for comparison".
+ALL_APPS: Dict[str, Type[Application]] = {"matmul": MatMul, **SUITE}
+
+
+def suite_names() -> List[str]:
+    """Application names in the paper's Table 2 order."""
+    return list(SUITE)
+
+
+def get_app(name: str, spec: DeviceSpec = DEFAULT_DEVICE) -> Application:
+    """Instantiate an application by its paper name."""
+    try:
+        cls = ALL_APPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; known: {sorted(ALL_APPS)}"
+        ) from None
+    return cls(spec)
+
+
+def iter_apps(names: Iterable[str] = None,
+              spec: DeviceSpec = DEFAULT_DEVICE):
+    """Yield instantiated applications (default: the full Table 2 suite)."""
+    for name in (names if names is not None else suite_names()):
+        yield get_app(name, spec)

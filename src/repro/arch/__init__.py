@@ -1,0 +1,22 @@
+"""Hardware description of the simulated GeForce 8800 GTX.
+
+Public entry points:
+
+* :class:`~repro.arch.device.DeviceSpec` — every microarchitectural
+  constant the paper quotes, plus the calibrated timing parameters;
+* :func:`~repro.arch.device.geforce_8800_gtx` — the paper's platform;
+* :func:`~repro.arch.memory_table.memory_table` — the rows of Table 1.
+"""
+
+from .device import DeviceSpec, TimingParams, geforce_8800_gtx, DEFAULT_DEVICE
+from .memory_table import MemorySpaceInfo, memory_table, format_memory_table
+
+__all__ = [
+    "DeviceSpec",
+    "TimingParams",
+    "geforce_8800_gtx",
+    "DEFAULT_DEVICE",
+    "MemorySpaceInfo",
+    "memory_table",
+    "format_memory_table",
+]

@@ -1,0 +1,232 @@
+"""Hardware description of the simulated GPU.
+
+This module is the single source of truth for every microarchitectural
+constant the paper quotes for the GeForce 8800 GTX (Section 3.2 and
+Table 1 of Ryoo et al., PPoPP'08):
+
+* 16 streaming multiprocessors (SMs), each with 8 streaming processors
+  (SPs) and 2 special function units (SFUs), clocked at 1.35 GHz;
+* 8192 registers and 16 KB of shared memory per SM;
+* at most 768 simultaneously active threads and 8 thread blocks per SM,
+  512 threads per block;
+* 86.4 GB/s of off-chip DRAM bandwidth over 768 MB of device memory;
+* peak multiply-add throughput of 345.6 GFLOPS (16 SMs x 8 SPs x
+  2 flops x 1.35 GHz) and 388.8 GFLOPS when SFU co-issue is counted
+  (16 SMs x 18 FLOPS x 1.35 GHz);
+* global memory accesses coalesce into contiguous 16-word (64 B)
+  lines per half-warp.
+
+Everything downstream (occupancy calculator, coalescing model, timing
+models, benchmark harness) reads these values from a :class:`DeviceSpec`
+instance instead of hard-coding them, so alternative devices can be
+modeled by constructing a different spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Calibratable timing-model parameters.
+
+    The paper does not publish DRAM latencies or efficiencies for the
+    GeForce 8800; these values are the model's free parameters.  They
+    are fit once against the matrix-multiplication study of Section 4
+    (see :mod:`repro.sim.calibration`) and then frozen for the entire
+    application suite.
+
+    Attributes
+    ----------
+    global_latency_cycles:
+        Round-trip latency of a global (DRAM) access in SP cycles.
+        Public microbenchmarks of the G80 place this in the 400-600
+        cycle range.
+    dram_efficiency:
+        Fraction of the 86.4 GB/s pin bandwidth achievable by a
+        perfectly coalesced stream (DRAM paging, refresh and command
+        overheads).
+    uncoalesced_replay_cycles:
+        SP issue cycles charged per serialized transaction of an
+        uncoalesced half-warp access: the load/store unit replays the
+        access once per transaction, blocking instruction issue
+        (CUDA 1.x "16 separate memory transactions" behaviour).
+    issue_cycles_per_warp_inst:
+        SP cycles to issue one instruction for a full warp
+        (32 threads / 8 SPs = 4 cycles on the G80).
+    sfu_cycles_per_warp_inst:
+        SFU-pipe occupancy of one transcendental warp instruction
+        (32 threads / 2 SFUs = 16 cycles).
+    sync_cycles:
+        Amortized cost of a ``__syncthreads()`` barrier per warp.
+    kernel_launch_overhead_s:
+        Fixed host-side cost of one kernel invocation.
+    memory_queue_depth:
+        Maximum number of in-flight memory transactions per SM
+        (limits memory-level parallelism in the MWP model).
+    """
+
+    # Frozen output of repro.sim.calibration against the Section 4
+    # matmul anchors (geometric-mean relative error 3.4%).
+    global_latency_cycles: float = 400.0
+    dram_efficiency: float = 0.80
+    uncoalesced_replay_cycles: float = 3.0
+    issue_cycles_per_warp_inst: float = 4.0
+    sfu_cycles_per_warp_inst: float = 16.0
+    sync_cycles: float = 4.0
+    kernel_launch_overhead_s: float = 12e-6
+    memory_queue_depth: int = 8
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Full microarchitectural description of a CUDA-generation GPU."""
+
+    name: str = "GeForce 8800 GTX"
+
+    # --- compute fabric ---------------------------------------------------
+    num_sms: int = 16
+    sps_per_sm: int = 8
+    sfus_per_sm: int = 2
+    sp_clock_ghz: float = 1.35
+    warp_size: int = 32
+    half_warp: int = 16
+
+    # --- per-SM scheduling limits (Section 3.2) ---------------------------
+    registers_per_sm: int = 8192
+    shared_mem_per_sm: int = 16 * 1024
+    max_threads_per_sm: int = 768
+    max_blocks_per_sm: int = 8
+    max_threads_per_block: int = 512
+    max_grid_dim: int = 2 ** 16 - 1
+    register_alloc_granularity: int = 1
+
+    # --- memory system -----------------------------------------------------
+    dram_bandwidth_gbs: float = 86.4
+    dram_capacity_bytes: int = 768 * 1024 * 1024
+    coalesce_segment_bytes: int = 64          # 16 words of 4 B
+    min_transaction_bytes: int = 32
+    shared_mem_banks: int = 16
+    constant_mem_bytes: int = 64 * 1024
+    constant_cache_bytes_per_sm: int = 8 * 1024
+    texture_cache_bytes_per_sm: int = 8 * 1024
+
+    # --- host link (PCIe x16, 2007-era sustained rates) --------------------
+    h2d_bandwidth_gbs: float = 1.5
+    d2h_bandwidth_gbs: float = 1.2
+    transfer_overhead_s: float = 15e-6
+
+    # --- calibratable timing parameters ------------------------------------
+    timing: TimingParams = field(default_factory=TimingParams)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_sps(self) -> int:
+        """Total SP cores on the device (128 on the GeForce 8800 GTX)."""
+        return self.num_sms * self.sps_per_sm
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        """Maximum resident warps per SM (24 = 768 / 32 on the G80)."""
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def peak_mad_gflops(self) -> float:
+        """Peak multiply-add throughput: 345.6 GFLOPS on the G80."""
+        return self.num_sps * 2 * self.sp_clock_ghz
+
+    @property
+    def peak_gflops_with_sfu(self) -> float:
+        """Peak including SFU co-issue: 388.8 GFLOPS on the G80.
+
+        The paper counts 18 FLOPS per SM per cycle: 8 SPs x 2 (MAD)
+        plus 2 SFUs contributing one flop each.
+        """
+        flops_per_sm = self.sps_per_sm * 2 + self.sfus_per_sm
+        return self.num_sms * flops_per_sm * self.sp_clock_ghz
+
+    @property
+    def coalesce_segment_words(self) -> int:
+        """Words per coalescing segment (16 on the G80)."""
+        return self.coalesce_segment_bytes // 4
+
+    @property
+    def dram_bandwidth_bytes_per_cycle(self) -> float:
+        """Aggregate DRAM bandwidth expressed in bytes per SP cycle."""
+        return self.dram_bandwidth_gbs / self.sp_clock_ghz
+
+    @property
+    def max_active_threads(self) -> int:
+        """Device-wide simultaneously active thread limit (12288)."""
+        return self.num_sms * self.max_threads_per_sm
+
+    # ------------------------------------------------------------------
+    def with_timing(self, **updates: float) -> "DeviceSpec":
+        """Return a copy of this spec with timing parameters overridden."""
+        return replace(self, timing=replace(self.timing, **updates))
+
+    def describe(self) -> Dict[str, object]:
+        """Summary dictionary used by the benchmark harness."""
+        return {
+            "name": self.name,
+            "SMs": self.num_sms,
+            "SPs/SM": self.sps_per_sm,
+            "SP clock (GHz)": self.sp_clock_ghz,
+            "registers/SM": self.registers_per_sm,
+            "shared mem/SM (KB)": self.shared_mem_per_sm // 1024,
+            "max threads/SM": self.max_threads_per_sm,
+            "max blocks/SM": self.max_blocks_per_sm,
+            "DRAM bandwidth (GB/s)": self.dram_bandwidth_gbs,
+            "peak MAD GFLOPS": self.peak_mad_gflops,
+            "peak GFLOPS (with SFU)": self.peak_gflops_with_sfu,
+        }
+
+
+def geforce_8800_gtx() -> DeviceSpec:
+    """The paper's evaluation platform with calibrated timing defaults.
+
+    The timing parameters below are the frozen output of
+    :func:`repro.sim.calibration.calibrate` run against the Section 4
+    matrix-multiplication anchors (10.58 / 46.49 / 91.14 / 87.10
+    GFLOPS); see EXPERIMENTS.md for the fit residuals.
+    """
+    return DeviceSpec()
+
+
+def geforce_8800_gts() -> DeviceSpec:
+    """The 96-SP family member (12 SMs, 1.2 GHz, 64 GB/s, 640 MB).
+
+    Section 1/3 of the paper stresses that the execution model "enables
+    the execution of the same CUDA program across processor family
+    members with a varying number of cores"; the scaling benchmark uses
+    these siblings to demonstrate it.
+    """
+    return DeviceSpec(
+        name="GeForce 8800 GTS",
+        num_sms=12,
+        sp_clock_ghz=1.2,
+        dram_bandwidth_gbs=64.0,
+        dram_capacity_bytes=640 * 1024 * 1024,
+    )
+
+
+def geforce_8600_gts() -> DeviceSpec:
+    """The entry-level family member (4 SMs, 1.45 GHz, 32 GB/s)."""
+    return DeviceSpec(
+        name="GeForce 8600 GTS",
+        num_sms=4,
+        sp_clock_ghz=1.45,
+        dram_bandwidth_gbs=32.0,
+        dram_capacity_bytes=256 * 1024 * 1024,
+    )
+
+
+#: The family members used by the scaling study.
+DEVICE_FAMILY = ("geforce_8600_gts", "geforce_8800_gts", "geforce_8800_gtx")
+
+#: Device-wide default used throughout the package when no spec is given.
+DEFAULT_DEVICE = geforce_8800_gtx()

@@ -1,0 +1,138 @@
+"""Memory-space properties of the simulated device (paper Table 1).
+
+Table 1 of the paper enumerates the GeForce 8800's memory spaces with
+their location, size, latency, read-only status and program scope.  The
+same facts drive behaviour elsewhere in the simulator (address-space
+checks in :mod:`repro.cuda.memory`, latency classes in
+:mod:`repro.sim.timing`), so they are defined once here and the
+benchmark for Table 1 simply formats this structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .device import DeviceSpec, DEFAULT_DEVICE
+
+
+@dataclass(frozen=True)
+class MemorySpaceInfo:
+    """One row of the paper's Table 1."""
+
+    name: str
+    location: str           # on-chip / off-chip
+    size: str               # human-readable capacity
+    hit_latency: str        # qualitative latency as in the paper
+    read_only: bool
+    cached: bool
+    scope: str              # who shares the data
+    description: str
+
+    def row(self) -> List[str]:
+        return [
+            self.name,
+            self.location,
+            self.size,
+            self.hit_latency,
+            "yes" if self.read_only else "no",
+            "yes" if self.cached else "no",
+            self.scope,
+        ]
+
+
+HEADERS = [
+    "Memory", "Location", "Size", "Latency", "Read-only", "Cached", "Scope",
+]
+
+
+def memory_table(spec: DeviceSpec = DEFAULT_DEVICE) -> List[MemorySpaceInfo]:
+    """Build the Table 1 rows for ``spec``.
+
+    Latency figures are the qualitative classes the paper reports:
+    register-speed for on-chip SRAM, hundreds of cycles for DRAM.
+    """
+    t = spec.timing
+    dram_lat = f"~{int(t.global_latency_cycles)} cycles (uncached)"
+    return [
+        MemorySpaceInfo(
+            name="Global",
+            location="off-chip",
+            size=f"{spec.dram_capacity_bytes // (1024 * 1024)} MB total",
+            hit_latency=dram_lat,
+            read_only=False,
+            cached=False,
+            scope="grid (all threads)",
+            description=(
+                "Large DRAM directly addressable by all threads; accesses "
+                "coalesce into {seg} B lines per half-warp".format(
+                    seg=spec.coalesce_segment_bytes)
+            ),
+        ),
+        MemorySpaceInfo(
+            name="Shared",
+            location="on-chip",
+            size=f"{spec.shared_mem_per_sm // 1024} KB per SM",
+            hit_latency="register latency",
+            read_only=False,
+            cached=False,
+            scope="thread block",
+            description=(
+                "Software-managed scratchpad with {b} banks; conflict-free "
+                "access is as fast as registers".format(b=spec.shared_mem_banks)
+            ),
+        ),
+        MemorySpaceInfo(
+            name="Constant",
+            location="off-chip, cached on-chip",
+            size=f"{spec.constant_mem_bytes // 1024} KB total, "
+                 f"{spec.constant_cache_bytes_per_sm // 1024} KB cache per SM",
+            hit_latency="register latency on cache hit (broadcast)",
+            read_only=True,
+            cached=True,
+            scope="grid (all threads)",
+            description=(
+                "Read-only data broadcast to all threads of a warp in a "
+                "single cycle on a cache hit"
+            ),
+        ),
+        MemorySpaceInfo(
+            name="Texture",
+            location="off-chip, cached on-chip",
+            size=f"up to global memory, "
+                 f"{spec.texture_cache_bytes_per_sm // 1024} KB cache per SM",
+            hit_latency=">100 cycles (cache optimized for 2D locality)",
+            read_only=True,
+            cached=True,
+            scope="grid (all threads)",
+            description=(
+                "Read-only path through the texture units; cache captures "
+                "2D spatial locality"
+            ),
+        ),
+        MemorySpaceInfo(
+            name="Local",
+            location="off-chip",
+            size="up to global memory",
+            hit_latency=dram_lat,
+            read_only=False,
+            cached=False,
+            scope="single thread",
+            description=(
+                "Per-thread spill space placed in DRAM; same cost as "
+                "global memory"
+            ),
+        ),
+    ]
+
+
+def format_memory_table(spec: DeviceSpec = DEFAULT_DEVICE) -> str:
+    """Render Table 1 as an aligned ASCII table."""
+    rows = [HEADERS] + [info.row() for info in memory_table(spec)]
+    widths = [max(len(r[i]) for r in rows) for i in range(len(HEADERS))]
+    lines = []
+    for j, row in enumerate(rows):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""ASCII table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned text table (numbers right-aligned)."""
+    srows: List[List[str]] = []
+    for row in rows:
+        srows.append([_cell(c) for c in row])
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) if _numeric(c) else c.ljust(w)
+                         for c, w in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(r) for r in srows)
+    return "\n".join(lines)
+
+
+def _cell(c: object) -> str:
+    if isinstance(c, float):
+        if c == 0:
+            return "0"
+        if abs(c) >= 100:
+            return f"{c:.0f}"
+        if abs(c) >= 1:
+            return f"{c:.2f}"
+        return f"{c:.3f}"
+    return str(c)
+
+
+def _numeric(c: str) -> bool:
+    try:
+        float(c.replace("%", "").replace("x", "").replace("(r)", ""))
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,61 @@
+"""CUDA-style three-component dimensions for grids and blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+
+@dataclass(frozen=True, order=True)
+class Dim3:
+    """A CUDA ``dim3``: x varies fastest, exactly as in the hardware's
+    linearization of thread and block coordinates."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.x, self.y, self.z) < 1:
+            raise ValueError(f"Dim3 components must be >= 1, got {self}")
+
+    @property
+    def size(self) -> int:
+        """Total number of elements (threads in a block / blocks in a grid)."""
+        return self.x * self.y * self.z
+
+    def linear(self, x: int, y: int = 0, z: int = 0) -> int:
+        """Linear index of coordinate (x, y, z), x fastest."""
+        return x + self.x * (y + self.y * z)
+
+    def unlinear(self, idx: int) -> Tuple[int, int, int]:
+        """Inverse of :meth:`linear`."""
+        x = idx % self.x
+        y = (idx // self.x) % self.y
+        z = idx // (self.x * self.y)
+        return x, y, z
+
+    def __iter__(self) -> Iterator[Tuple[int, int, int]]:
+        for z in range(self.z):
+            for y in range(self.y):
+                for x in range(self.x):
+                    yield x, y, z
+
+    def __str__(self) -> str:
+        return f"({self.x}, {self.y}, {self.z})"
+
+
+DimLike = Union[Dim3, int, Tuple[int, ...]]
+
+
+def as_dim3(value: DimLike) -> Dim3:
+    """Coerce an int or tuple into a :class:`Dim3` (CUDA-call style)."""
+    if isinstance(value, Dim3):
+        return value
+    if isinstance(value, int):
+        return Dim3(value)
+    if isinstance(value, tuple):
+        if not 1 <= len(value) <= 3:
+            raise ValueError(f"dim tuple must have 1-3 components: {value!r}")
+        return Dim3(*value)
+    raise TypeError(f"cannot interpret {value!r} as Dim3")

@@ -1,0 +1,226 @@
+"""Kernel objects and the launch machinery.
+
+A :class:`Kernel` bundles the DSL function with its *compiled resource
+usage* — registers per thread and statically declared shared memory —
+the two knobs the paper's occupancy arguments revolve around
+("an incremental increase in the usage of registers or shared memory
+per thread can result in a substantial decrease in the number of
+threads that can be simultaneously executed").  Register counts play
+the role of the numbers one reads out of ``nvcc``'s cubin; optimization
+passes in :mod:`repro.opt` transform them the way the paper describes
+(unrolling eliminates an induction variable, prefetching adds two
+registers, ...).
+
+:func:`launch` validates the configuration against the device limits,
+executes the blocks, and returns a :class:`LaunchResult` carrying the
+scaled :class:`~repro.trace.trace.KernelTrace`.
+
+Tracing strategy (mirrors reasoning from per-block PTX in the paper):
+a deterministic sample of blocks is executed with tracing enabled and
+the trace is scaled to the full grid.  ``functional=True`` (default)
+runs *every* block so device arrays hold the complete result;
+``functional=False`` runs only the traced sample, which is what the
+benchmark harness uses for large problem sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arch.device import DeviceSpec, DEFAULT_DEVICE
+from ..sim.memsys import DirectMappedCache
+from ..trace.trace import KernelTrace
+from .dim3 import Dim3, DimLike, as_dim3
+from .context import BlockContext
+from .memory import CudaModelError, Device
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A compiled kernel: DSL function + resource usage metadata."""
+
+    fn: Callable[..., None]
+    name: str
+    regs_per_thread: int = 10
+    static_smem_bytes: int = 0
+    notes: str = ""
+
+    def with_resources(self, regs_per_thread: Optional[int] = None,
+                       static_smem_bytes: Optional[int] = None) -> "Kernel":
+        updates = {}
+        if regs_per_thread is not None:
+            updates["regs_per_thread"] = regs_per_thread
+        if static_smem_bytes is not None:
+            updates["static_smem_bytes"] = static_smem_bytes
+        return replace(self, **updates)
+
+
+def kernel(name: str, regs_per_thread: int = 10,
+           static_smem_bytes: int = 0, notes: str = ""):
+    """Decorator turning a DSL function into a :class:`Kernel`."""
+    def wrap(fn: Callable[..., None]) -> Kernel:
+        return Kernel(fn=fn, name=name, regs_per_thread=regs_per_thread,
+                      static_smem_bytes=static_smem_bytes, notes=notes)
+    return wrap
+
+
+@dataclass
+class LaunchResult:
+    """Everything the performance models need about one kernel launch."""
+
+    kernel: Kernel
+    grid: Dim3
+    block: Dim3
+    trace: KernelTrace
+    smem_bytes_per_block: int
+    device: Device
+    blocks_executed: int
+    blocks_traced: int
+    #: ordered instruction stream of one block (record_stream=True)
+    stream: Optional[list] = None
+
+    @property
+    def num_blocks(self) -> int:
+        return self.grid.size
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block.size
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_blocks * self.threads_per_block
+
+    @property
+    def spec(self) -> DeviceSpec:
+        return self.device.spec
+
+    def occupancy(self):
+        """Occupancy of this launch (lazy import avoids a cycle)."""
+        from ..sim.occupancy import occupancy_for_launch
+        return occupancy_for_launch(self)
+
+    def estimate(self):
+        """Analytical timing estimate for this launch."""
+        from ..sim.timing import estimate_kernel_time
+        return estimate_kernel_time(self)
+
+    def gflops(self) -> float:
+        """Achieved GFLOPS under the analytical timing model."""
+        est = self.estimate()
+        return self.trace.flops / est.seconds / 1e9 if est.seconds else 0.0
+
+
+def _validate(spec: DeviceSpec, grid: Dim3, block: Dim3) -> None:
+    if block.size > spec.max_threads_per_block:
+        raise CudaModelError(
+            f"block of {block.size} threads exceeds the "
+            f"{spec.max_threads_per_block}-thread limit")
+    if block.z > 64:
+        raise CudaModelError("blockDim.z is limited to 64")
+    if grid.x > spec.max_grid_dim or grid.y > spec.max_grid_dim:
+        raise CudaModelError(
+            f"grid {grid} exceeds the {spec.max_grid_dim} per-dimension limit")
+    if grid.z != 1:
+        raise CudaModelError("grids are two-dimensional on this device")
+
+
+def _sample_blocks(grid: Dim3, n: int) -> Sequence[int]:
+    """Deterministic, evenly spread sample of linear block indices.
+
+    Includes the first and last block so boundary-condition code paths
+    are observed.
+    """
+    total = grid.size
+    if total <= n:
+        return list(range(total))
+    idx = np.unique(np.linspace(0, total - 1, n).astype(np.int64))
+    return [int(i) for i in idx]
+
+
+def launch(
+    kern: Kernel,
+    grid: DimLike,
+    block: DimLike,
+    args: Tuple = (),
+    device: Optional[Device] = None,
+    functional: bool = True,
+    trace_blocks: int = 4,
+    trace: bool = True,
+    record_stream: bool = False,
+) -> LaunchResult:
+    """Execute ``kern`` over ``grid`` x ``block`` threads.
+
+    Parameters
+    ----------
+    functional:
+        Run every block (full functional result).  When ``False`` only
+        the traced sample runs — performance analysis of large grids.
+    trace_blocks:
+        Number of blocks to execute with tracing enabled; the trace is
+        scaled by ``grid.size / traced``.
+    trace:
+        Disable to run purely functionally (fast path for tests).
+    record_stream:
+        Record the first traced block's ordered instruction stream for
+        the event-driven warp simulator (:mod:`repro.sim.warpsim`).
+    """
+    device = device if device is not None else Device()
+    spec = device.spec
+    grid = as_dim3(grid)
+    block = as_dim3(block)
+    _validate(spec, grid, block)
+
+    traced = set(_sample_blocks(grid, trace_blocks)) if trace else set()
+    caches: Dict[str, DirectMappedCache] = {
+        "const": DirectMappedCache(spec.constant_cache_bytes_per_sm),
+        "tex": DirectMappedCache(spec.texture_cache_bytes_per_sm),
+    }
+
+    merged = KernelTrace()
+    smem_bytes = kern.static_smem_bytes
+    executed = 0
+    stream = None
+    first_traced = min(traced) if traced else None
+    block_ids = range(grid.size) if functional else sorted(traced)
+    for linear in block_ids:
+        coord = grid.unlinear(linear)
+        do_trace = linear in traced
+        block_stream = [] if (record_stream and linear == first_traced)             else None
+        ctx = BlockContext(
+            spec, grid, block, coord,
+            trace=KernelTrace() if do_trace else None,
+            caches=caches,
+            stream=block_stream,
+        )
+        kern.fn(ctx, *args)
+        if block_stream is not None:
+            stream = block_stream
+        executed += 1
+        if do_trace:
+            ctx.trace.blocks_traced = 1
+            ctx.trace.threads_traced = block.size
+            merged.merge(ctx.trace)
+            smem_bytes = max(smem_bytes,
+                             ctx.smem_bytes + kern.static_smem_bytes)
+
+    if merged.blocks_traced:
+        scale = grid.size / merged.blocks_traced
+        merged = merged.scaled(scale)
+        merged.blocks_traced = len(traced)
+
+    return LaunchResult(
+        kernel=kern,
+        grid=grid,
+        block=block,
+        trace=merged,
+        smem_bytes_per_block=smem_bytes,
+        device=device,
+        blocks_executed=executed,
+        blocks_traced=len(traced),
+        stream=stream,
+    )

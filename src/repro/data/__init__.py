@@ -1,0 +1,4 @@
+"""Transcribed/reconstructed values from the paper (see paper.py)."""
+from . import paper
+
+__all__ = ["paper"]

@@ -1,0 +1,19 @@
+"""Optimization-strategy helpers (tiling, unrolling, prefetch, layout)."""
+
+from .passes import (
+    OPTIMIZATION_PASSES,
+    OptimizationPass,
+    VariantDescriptor,
+    estimate_unroll_savings,
+)
+from .layout import aos_index, pad_stride, soa_index
+
+__all__ = [
+    "OPTIMIZATION_PASSES",
+    "OptimizationPass",
+    "VariantDescriptor",
+    "estimate_unroll_savings",
+    "aos_index",
+    "soa_index",
+    "pad_stride",
+]

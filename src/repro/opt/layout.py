@@ -1,0 +1,41 @@
+"""Data-layout transformations (the Figure 5 toolbox).
+
+The paper's LBM case study reorganizes global-memory layouts to
+restore coalescing; these helpers express the index arithmetic of the
+two canonical layouts plus the shared-memory padding trick used by
+TPACF's private histograms and RPES's shell stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def aos_index(element: np.ndarray, component, ncomponents: int
+              ) -> np.ndarray:
+    """Array-of-structures flat index: components of one element are
+    adjacent.  Consecutive threads reading the same component stride by
+    ``ncomponents`` — uncoalesced on the G80 for ``ncomponents > 1``."""
+    return np.asarray(element, dtype=np.int64) * ncomponents + component
+
+
+def soa_index(element: np.ndarray, component, nelements: int
+              ) -> np.ndarray:
+    """Structure-of-arrays flat index: one plane per component.
+    Consecutive threads reading the same component are unit-stride —
+    coalesced when the plane base is segment-aligned."""
+    return np.asarray(component, dtype=np.int64) * nelements \
+        + np.asarray(element, dtype=np.int64)
+
+
+def pad_stride(logical_width: int, banks: int = 16) -> int:
+    """Smallest padded row stride >= ``logical_width`` that is coprime
+    with the number of shared-memory banks, so column accesses (stride
+    = row width) hit distinct banks.  The classic +1 padding falls out
+    when the width is a multiple of the bank count."""
+    if logical_width <= 0:
+        raise ValueError("width must be positive")
+    stride = logical_width
+    while np.gcd(stride, banks) != 1:
+        stride += 1
+    return stride

@@ -1,0 +1,138 @@
+"""Optimization passes as first-class descriptors.
+
+The paper's Section 4 treats optimizations as *transformations with
+resource consequences*: tiling adds shared-memory usage and barrier
+synchronization; unrolling removes bookkeeping instructions and frees
+an induction-variable register; prefetching adds two registers and can
+push a kernel over an occupancy cliff.  This module captures those
+consequences declaratively so the ablation benchmarks (and user code)
+can reason about variant spaces without re-deriving them.
+
+A :class:`VariantDescriptor` chains passes over a base kernel's
+resource profile and predicts the occupancy outcome — the mechanism
+behind the paper's "11 registers -> 2 blocks/SM" cliff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..arch.device import DeviceSpec, DEFAULT_DEVICE
+from ..sim.occupancy import Occupancy, compute_occupancy
+
+
+@dataclass(frozen=True)
+class OptimizationPass:
+    """One source-level transformation and its resource deltas.
+
+    Attributes
+    ----------
+    regs_delta:
+        Change in registers per thread (e.g. full unrolling removes
+        the induction variable: -1; register prefetching: +2).
+    smem_delta_bytes:
+        Change in shared memory per block (tiling allocates the tiles).
+    insts_per_iter_delta:
+        Change in dynamic instructions per loop iteration (negative
+        for unrolling, which deletes the compare/branch/increment).
+    description:
+        Paper-referenced rationale.
+    """
+
+    name: str
+    regs_delta: int = 0
+    smem_delta_bytes: int = 0
+    insts_per_iter_delta: float = 0.0
+    description: str = ""
+
+
+#: The Section 4 pass catalogue.
+OPTIMIZATION_PASSES: Dict[str, OptimizationPass] = {
+    "tiling": OptimizationPass(
+        "tiling", regs_delta=0, smem_delta_bytes=2 * 16 * 16 * 4,
+        insts_per_iter_delta=+1.0,
+        description="stage input tiles in shared memory (Section 4.2): "
+                    "cuts global traffic by the tile size at the cost "
+                    "of barriers and staging instructions"),
+    "unrolling": OptimizationPass(
+        "unrolling", regs_delta=-1, insts_per_iter_delta=-3.0,
+        description="fully unroll constant-trip inner loops "
+                    "(Section 4.3): deletes branches, induction "
+                    "updates and per-iteration address arithmetic; "
+                    "frees the induction register"),
+    "prefetching": OptimizationPass(
+        "prefetching", regs_delta=+2, insts_per_iter_delta=+0.2,
+        description="double-buffer the next tile through registers "
+                    "(Section 4.4): hides intra-thread load latency "
+                    "but costs registers and move instructions"),
+    "register_tiling": OptimizationPass(
+        "register_tiling", regs_delta=+4, insts_per_iter_delta=-1.0,
+        description="keep a small output tile in registers "
+                    "(Section 5.2, used by H.264's outer loops)"),
+}
+
+
+@dataclass(frozen=True)
+class VariantDescriptor:
+    """A kernel variant: base resource profile + applied passes."""
+
+    base_name: str
+    base_regs: int
+    threads_per_block: int
+    base_smem_bytes: int = 0
+    passes: Tuple[OptimizationPass, ...] = ()
+
+    def apply(self, opt: OptimizationPass) -> "VariantDescriptor":
+        return replace(self, passes=self.passes + (opt,))
+
+    def apply_named(self, name: str) -> "VariantDescriptor":
+        return self.apply(OPTIMIZATION_PASSES[name])
+
+    @property
+    def name(self) -> str:
+        if not self.passes:
+            return self.base_name
+        return self.base_name + "+" + "+".join(p.name for p in self.passes)
+
+    @property
+    def regs_per_thread(self) -> int:
+        return max(1, self.base_regs + sum(p.regs_delta for p in self.passes))
+
+    @property
+    def smem_bytes(self) -> int:
+        return max(0, self.base_smem_bytes
+                   + sum(p.smem_delta_bytes for p in self.passes))
+
+    def occupancy(self, spec: DeviceSpec = DEFAULT_DEVICE) -> Occupancy:
+        """Predicted occupancy of this variant — the Section 4 cliffs."""
+        return compute_occupancy(self.threads_per_block,
+                                 self.regs_per_thread,
+                                 self.smem_bytes, spec)
+
+    def occupancy_cost(self, spec: DeviceSpec = DEFAULT_DEVICE) -> float:
+        """Fraction of thread contexts *lost* relative to the base."""
+        base = compute_occupancy(self.threads_per_block, self.base_regs,
+                                 self.base_smem_bytes, spec)
+        now = self.occupancy(spec)
+        if base.active_threads_per_sm == 0:
+            return 0.0
+        return 1.0 - now.active_threads_per_sm / base.active_threads_per_sm
+
+
+def estimate_unroll_savings(insts_per_iter: float, trip_count: int,
+                            bookkeeping_per_iter: float = 3.0,
+                            factor: Optional[int] = None) -> float:
+    """Fraction of dynamic instructions removed by unrolling a loop.
+
+    ``factor=None`` means full unrolling (all bookkeeping goes away);
+    partial unrolling by ``factor`` keeps ``1/factor`` of it.  This is
+    the arithmetic behind Section 4.3's 125 -> 59 instruction drop.
+    """
+    if insts_per_iter <= 0 or trip_count <= 0:
+        raise ValueError("loop must have positive size")
+    if bookkeeping_per_iter >= insts_per_iter:
+        raise ValueError("bookkeeping cannot exceed the loop body")
+    keep = 0.0 if factor is None else bookkeeping_per_iter / factor
+    saved = bookkeeping_per_iter - keep
+    return saved / insts_per_iter

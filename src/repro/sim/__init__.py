@@ -1,0 +1,55 @@
+"""Performance models of the simulated GeForce 8800 GTX.
+
+Three fidelities, cross-checked in the test suite:
+
+* :mod:`repro.sim.bounds` — the paper's own back-of-envelope analysis
+  (potential GFLOPS from the FMA issue fraction, bandwidth demand);
+* :mod:`repro.sim.timing` — the calibrated analytical bottleneck model
+  (instruction issue / SFU / bandwidth / latency);
+* :mod:`repro.sim.warpsim` — an event-driven per-SM warp scheduler
+  used to validate the analytical model on small configurations.
+
+Plus the supporting substrate models: coalescing and bank conflicts
+(:mod:`repro.sim.memsys`), occupancy (:mod:`repro.sim.occupancy`) and
+the Opteron-class CPU baseline (:mod:`repro.sim.cpumodel`).
+"""
+
+from .bounds import BoundAnalysis, analyze_bounds
+from .cpumodel import CpuCostParams, CpuSpec, CpuTimeEstimate, estimate_cpu_time
+from .memsys import (
+    CoalesceResult,
+    DirectMappedCache,
+    bank_conflict_degree,
+    block_bank_conflicts,
+    coalesce_block_access,
+    coalesce_half_warp,
+)
+from .occupancy import Occupancy, compute_occupancy, occupancy_for_launch
+from .timing import (
+    KernelTimeEstimate,
+    LaunchConfigError,
+    estimate_kernel_time,
+    estimate_time,
+)
+
+__all__ = [
+    "BoundAnalysis",
+    "analyze_bounds",
+    "CpuCostParams",
+    "CpuSpec",
+    "CpuTimeEstimate",
+    "estimate_cpu_time",
+    "CoalesceResult",
+    "DirectMappedCache",
+    "bank_conflict_degree",
+    "block_bank_conflicts",
+    "coalesce_block_access",
+    "coalesce_half_warp",
+    "Occupancy",
+    "compute_occupancy",
+    "occupancy_for_launch",
+    "KernelTimeEstimate",
+    "LaunchConfigError",
+    "estimate_kernel_time",
+    "estimate_time",
+]

@@ -1,0 +1,138 @@
+"""Optimization-space exploration (the paper's future-work section).
+
+Section 6: "It is also possible to get stuck in local maximums of
+performance when attempting to follow a particular optimization
+strategy. ... Better tools and compilers that allow programmers to
+specify the types of reorganizations desired and automatically
+experiment with their performance effects would greatly reduce the
+optimization effort."
+
+This module implements that tool for the matmul study's variant space
+(tile size x unrolling x prefetching): it evaluates every
+configuration with the calibrated model, runs greedy hill-climbing
+from arbitrary starting points, and reports which starting points get
+trapped in *local maxima* — reproducing the paper's observation that
+greedy optimization strategies are unreliable on this architecture.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps.matmul import MatMul, MatmulConfig, TILE_SIZES
+
+
+@dataclass(frozen=True)
+class Point:
+    """One configuration in the matmul optimization space."""
+
+    tile: int               # 0 means untiled
+    unrolled: bool
+    prefetch: bool
+
+    def valid(self) -> bool:
+        if self.tile == 0:
+            return not self.unrolled and not self.prefetch
+        if self.prefetch and not self.unrolled:
+            return False
+        return True
+
+    @property
+    def config(self) -> MatmulConfig:
+        if self.tile == 0:
+            return MatmulConfig("naive")
+        if self.prefetch:
+            return MatmulConfig("prefetch", self.tile)
+        if self.unrolled:
+            return MatmulConfig("tiled_unrolled", self.tile)
+        return MatmulConfig("tiled", self.tile)
+
+    def neighbors(self) -> List["Point"]:
+        """One-transformation-at-a-time moves (a greedy tuner's steps)."""
+        out = []
+        tiles = (0,) + TILE_SIZES
+        i = tiles.index(self.tile)
+        if i + 1 < len(tiles):
+            out.append(Point(tiles[i + 1], self.unrolled and tiles[i+1] > 0,
+                             self.prefetch and tiles[i+1] > 0))
+        if i - 1 >= 0:
+            t = tiles[i - 1]
+            out.append(Point(t, self.unrolled and t > 0,
+                             self.prefetch and t > 0))
+        if self.tile > 0:
+            out.append(Point(self.tile, not self.unrolled,
+                             self.prefetch and not self.unrolled))
+            if self.unrolled:
+                out.append(Point(self.tile, True, not self.prefetch))
+        return [p for p in out if p.valid() and p != self]
+
+
+@dataclass
+class TuneResult:
+    best: Point
+    best_gflops: float
+    evaluations: Dict[Point, float]
+    local_maxima: List[Tuple[Point, float]]
+
+    def is_global(self, point: Point) -> bool:
+        return self.evaluations[point] == self.best_gflops
+
+
+class MatmulAutotuner:
+    """Exhaustive + greedy exploration of the matmul variant space."""
+
+    def __init__(self, n: int = 1024, trace_blocks: int = 2) -> None:
+        self.n = n
+        self.trace_blocks = trace_blocks
+        self.app = MatMul()
+        self._cache: Dict[Point, float] = {}
+
+    def space(self) -> List[Point]:
+        points = [Point(0, False, False)]
+        for tile in TILE_SIZES:
+            for unrolled, prefetch in ((False, False), (True, False),
+                                       (True, True)):
+                points.append(Point(tile, unrolled, prefetch))
+        return points
+
+    def evaluate(self, point: Point) -> float:
+        """Modelled GFLOPS of one configuration (memoized)."""
+        if point not in self._cache:
+            run = self.app.run_config(point.config, n=self.n,
+                                      trace_blocks=self.trace_blocks)
+            self._cache[point] = run.launches[0].estimate().gflops
+        return self._cache[point]
+
+    def exhaustive(self) -> TuneResult:
+        """Evaluate the whole space and identify every local maximum."""
+        evals = {p: self.evaluate(p) for p in self.space()}
+        best = max(evals, key=evals.get)
+        maxima = []
+        for p, g in evals.items():
+            if all(g >= evals[q] for q in p.neighbors() if q in evals):
+                maxima.append((p, g))
+        maxima.sort(key=lambda pg: -pg[1])
+        return TuneResult(best, evals[best], evals, maxima)
+
+    def hill_climb(self, start: Point) -> Tuple[Point, float, List[Point]]:
+        """Greedy one-step improvement until no neighbour is better.
+
+        Returns the end point, its GFLOPS and the path taken — the
+        paper's cautionary tale when the end point is not the global
+        optimum.
+        """
+        current = start
+        path = [start]
+        while True:
+            current_g = self.evaluate(current)
+            neighbors = [q for q in current.neighbors()]
+            if not neighbors:
+                break
+            best_n = max(neighbors, key=self.evaluate)
+            if self.evaluate(best_n) <= current_g:
+                break
+            current = best_n
+            path.append(current)
+        return current, self.evaluate(current), path

@@ -1,0 +1,86 @@
+"""Paper-style performance bound analysis.
+
+Section 4 of the paper reasons about kernels with two back-of-envelope
+numbers derived from the PTX:
+
+* **potential throughput** — the GFLOPS attainable if instruction issue
+  is the only limit: the fraction of issue slots that are fused
+  multiply-adds times the 345.6 GFLOPS peak.  For the naive matmul the
+  paper computes ``1/8 * 345.6 = 43.2 GFLOPS``; for the unrolled tiled
+  version ``16/59 * 345.6 = 93.72 GFLOPS``.
+
+* **bandwidth demand** — the off-chip bandwidth the kernel would
+  consume while running at its potential throughput.  For the naive
+  matmul: "1/4 of the operations ... are loads from off-chip memory,
+  which would require a bandwidth of 173 GB/s (128 SPs * 1/4
+  instructions * 4 B/instruction * 1.35GHz)".
+
+These bounds are computed from a :class:`~repro.trace.trace.KernelTrace`
+so the same analysis applies to every application in the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.device import DeviceSpec, DEFAULT_DEVICE
+from ..trace.trace import KernelTrace
+
+
+@dataclass(frozen=True)
+class BoundAnalysis:
+    """Potential-throughput and bandwidth-demand bounds for one kernel."""
+
+    fma_fraction: float
+    potential_gflops: float
+    bandwidth_demand_gbs: float
+    bandwidth_available_gbs: float
+    memory_bound: bool
+
+    @property
+    def bandwidth_limited_gflops(self) -> float:
+        """Throughput ceiling imposed by off-chip bandwidth alone."""
+        if self.bandwidth_demand_gbs <= 0:
+            return self.potential_gflops
+        return self.potential_gflops * min(
+            1.0, self.bandwidth_available_gbs / self.bandwidth_demand_gbs)
+
+
+def analyze_bounds(trace: KernelTrace,
+                   spec: DeviceSpec = DEFAULT_DEVICE) -> BoundAnalysis:
+    """Compute the Section-4 bounds for a traced kernel.
+
+    The bandwidth demand follows the paper's formula: useful bytes
+    requested per issue-slot at full issue rate.  With ``I`` total warp
+    instructions the kernel occupies ``I * 4`` SP cycles on one SM, i.e.
+    ``I * 4 / num_sms`` cycles of device time at full occupancy, and
+    moves ``useful_bytes`` over that window.
+    """
+    total_insts = trace.total_warp_insts
+    if total_insts == 0:
+        return BoundAnalysis(0.0, 0.0, 0.0, spec.dram_bandwidth_gbs, False)
+
+    fma_frac = trace.fma_fraction
+    potential = spec.peak_mad_gflops * fma_frac
+    # SFU flops issue in parallel with the SP pipe; credit them on top,
+    # capped at the combined peak (the paper's 388.8 GFLOPS ceiling).
+    sfu_frac = trace.sfu_warp_insts / total_insts
+    potential = min(potential + spec.peak_mad_gflops * sfu_frac * 0.5,
+                    spec.peak_gflops_with_sfu)
+
+    issue_cycles_device = (total_insts
+                           * spec.timing.issue_cycles_per_warp_inst
+                           / spec.num_sms)
+    seconds_at_potential = issue_cycles_device / (spec.sp_clock_ghz * 1e9)
+    if seconds_at_potential > 0:
+        demand = trace.global_useful_bytes / seconds_at_potential / 1e9
+    else:
+        demand = 0.0
+
+    return BoundAnalysis(
+        fma_fraction=fma_frac,
+        potential_gflops=potential,
+        bandwidth_demand_gbs=demand,
+        bandwidth_available_gbs=spec.dram_bandwidth_gbs,
+        memory_bound=demand > spec.dram_bandwidth_gbs,
+    )

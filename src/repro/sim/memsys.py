@@ -1,0 +1,272 @@
+"""Memory-system models: coalescing, bank conflicts, read-only caches.
+
+This module implements the G80 (CUDA 1.x) global-memory coalescing
+rules the paper's optimizations revolve around (Section 3.2):
+
+    "this bandwidth can be obtained only when accesses are contiguous
+    16-word lines; in other cases the achievable bandwidth is a
+    fraction of the maximum."
+
+**Coalescing rule.**  A half-warp (16 threads) issues one memory
+transaction iff the k-th active thread accesses the k-th word of an
+aligned 16-word (64 B for 4-byte words) segment.  Any other pattern is
+*uncoalesced* and serialized into one transaction per active thread
+with a 32 B minimum granularity.  Duplicate addresses are merged for
+DRAM *bus* accounting (the controller's read combining, cf. the
+paper's footnote 4) but still pay per-thread serialization in the
+memory pipeline.
+
+**Bank conflicts.**  Shared memory has 16 banks, word-interleaved; a
+half-warp access serializes by the maximum number of distinct words
+mapped to the same bank (conflict degree).  All threads reading the
+*same* word are served by a broadcast (degree 1).
+
+**Caches.**  Constant and texture reads go through small per-SM caches
+modeled with simple LRU-over-lines structures sized per
+:class:`~repro.arch.device.DeviceSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from ..arch.device import DeviceSpec, DEFAULT_DEVICE
+
+
+@dataclass(frozen=True)
+class CoalesceResult:
+    """Outcome of one half-warp global access event."""
+
+    coalesced: bool
+    transactions: int          # serialized transactions issued
+    bus_bytes: int             # bytes occupying the DRAM bus
+    useful_bytes: int          # bytes the threads actually requested
+
+    @property
+    def efficiency(self) -> float:
+        return self.useful_bytes / self.bus_bytes if self.bus_bytes else 1.0
+
+
+def coalesce_half_warp(
+    addresses: np.ndarray,
+    active: np.ndarray,
+    itemsize: int,
+    spec: DeviceSpec = DEFAULT_DEVICE,
+) -> CoalesceResult:
+    """Apply the G80 coalescing rule to one half-warp access.
+
+    Parameters
+    ----------
+    addresses:
+        Byte addresses, one per thread slot of the half-warp (length
+        ``spec.half_warp``); entries for inactive threads are ignored.
+    active:
+        Boolean activity mask of the same length.
+    itemsize:
+        Access width in bytes (4, 8 or 16 on the G80).
+    """
+    hw = spec.half_warp
+    if addresses.shape[0] != hw or active.shape[0] != hw:
+        raise ValueError(f"expected half-warp of {hw} lanes")
+    n_active = int(active.sum())
+    if n_active == 0:
+        return CoalesceResult(True, 0, 0, 0)
+
+    addrs = addresses[active].astype(np.int64)
+    useful = n_active * itemsize
+    segment = hw * itemsize
+
+    # Coalescing test: thread k must hit word k of an aligned segment.
+    lanes = np.nonzero(active)[0]
+    base = addresses[lanes[0]] - lanes[0] * itemsize
+    aligned = (base % segment) == 0
+    in_order = bool(np.all(addresses[lanes] == base + lanes * itemsize))
+    if aligned and in_order:
+        return CoalesceResult(True, 1, segment, useful)
+
+    # Uncoalesced: one transaction per active thread (min 32 B each);
+    # duplicate segments are merged for bus accounting.
+    min_txn = spec.min_transaction_bytes
+    segments = np.unique(addrs // min_txn)
+    bus = 0
+    for seg in segments:
+        lo = seg * min_txn
+        hi_needed = int(np.max(addrs[addrs // min_txn == seg])) + itemsize
+        span = hi_needed - lo
+        bus += int(np.ceil(span / min_txn)) * min_txn
+    return CoalesceResult(False, n_active, bus, useful)
+
+
+def coalesce_block_access(
+    addresses: np.ndarray,
+    active: np.ndarray,
+    itemsize: int,
+    spec: DeviceSpec = DEFAULT_DEVICE,
+) -> Tuple[int, int, int, int, int]:
+    """Coalesce a whole block-wide access, half-warp by half-warp.
+
+    Returns ``(warp_accesses, transactions, bus_bytes, useful_bytes,
+    coalesced_accesses)`` summed over all half-warps that had at least
+    one active thread.
+    """
+    hw = spec.half_warp
+    n = addresses.shape[0]
+    pad = (-n) % hw
+    if pad:
+        addresses = np.concatenate(
+            [addresses.astype(np.int64), np.zeros(pad, dtype=np.int64)])
+        active = np.concatenate([active, np.zeros(pad, dtype=bool)])
+    A = addresses.reshape(-1, hw).astype(np.int64)
+    M = active.reshape(-1, hw)
+    any_active = M.any(axis=1)
+    if not any_active.any():
+        return 0, 0, 0, 0, 0
+    segment = hw * itemsize
+
+    # Vectorized fast path: fully active, in-order, aligned rows.
+    fully = M.all(axis=1)
+    lane0 = A[:, 0]
+    expected = lane0[:, None] + np.arange(hw, dtype=np.int64)[None, :] * itemsize
+    in_order = (A == expected).all(axis=1)
+    aligned = (lane0 % segment) == 0
+    fast = fully & in_order & aligned
+    n_fast = int(fast.sum())
+    warp_accesses = int(any_active.sum())
+    transactions = n_fast
+    bus = n_fast * segment
+    useful = n_fast * hw * itemsize
+    coalesced = n_fast
+
+    slow_rows = np.nonzero(any_active & ~fast)[0]
+    for r in slow_rows:
+        res = coalesce_half_warp(A[r], M[r], itemsize, spec)
+        transactions += res.transactions
+        bus += res.bus_bytes
+        useful += res.useful_bytes
+        coalesced += int(res.coalesced)
+    return warp_accesses, transactions, bus, useful, coalesced
+
+
+# ----------------------------------------------------------------------
+# Shared-memory bank conflicts
+# ----------------------------------------------------------------------
+
+def bank_conflict_degree(
+    word_indices: np.ndarray,
+    active: np.ndarray,
+    spec: DeviceSpec = DEFAULT_DEVICE,
+) -> int:
+    """Conflict degree of one half-warp shared-memory access.
+
+    ``word_indices`` are word (4 B) offsets into shared memory.  The
+    degree is the maximum, over banks, of the number of *distinct*
+    words accessed in that bank; duplicate words broadcast for free.
+    A degree of 1 is conflict-free.
+    """
+    if not active.any():
+        return 0
+    words = word_indices[active].astype(np.int64)
+    banks = words % spec.shared_mem_banks
+    degree = 0
+    for b in np.unique(banks):
+        degree = max(degree, len(np.unique(words[banks == b])))
+    return int(degree)
+
+
+def block_bank_conflicts(
+    word_indices: np.ndarray,
+    active: np.ndarray,
+    spec: DeviceSpec = DEFAULT_DEVICE,
+) -> Tuple[int, int]:
+    """Sum conflict degrees over the half-warps of a block-wide access.
+
+    Returns ``(accesses, total_degree)``; ``total_degree - accesses``
+    is the number of *extra* serialization passes caused by conflicts.
+    """
+    hw = spec.half_warp
+    nbanks = spec.shared_mem_banks
+    n = word_indices.shape[0]
+    pad = (-n) % hw
+    if pad:
+        word_indices = np.concatenate(
+            [word_indices.astype(np.int64), np.zeros(pad, dtype=np.int64)])
+        active = np.concatenate([active, np.zeros(pad, dtype=bool)])
+    W = word_indices.reshape(-1, hw).astype(np.int64)
+    M = active.reshape(-1, hw)
+    any_active = M.any(axis=1)
+    if not any_active.any():
+        return 0, 0
+    accesses = int(any_active.sum())
+
+    # Vectorized fast path: fully active rows whose 16 lanes hit 16
+    # distinct banks (the common conflict-free stride-1 pattern), or
+    # rows where every lane reads the same word (broadcast).
+    fully = M.all(axis=1)
+    banks = W % nbanks
+    banks_sorted = np.sort(banks, axis=1)
+    distinct_banks = (np.diff(banks_sorted, axis=1) != 0).all(axis=1)
+    broadcast = (W == W[:, :1]).all(axis=1)
+    fast = fully & (distinct_banks | broadcast)
+    total = int(fast.sum())  # degree 1 each
+
+    slow_rows = np.nonzero(any_active & ~fast)[0]
+    for r in slow_rows:
+        total += bank_conflict_degree(W[r], M[r], spec)
+    return accesses, total
+
+
+# ----------------------------------------------------------------------
+# Read-only caches (constant / texture)
+# ----------------------------------------------------------------------
+
+class DirectMappedCache:
+    """A small direct-mapped line cache for the constant/texture paths.
+
+    The paper's applications use these paths for working sets that
+    either fit (constant tables, MRI trajectory data) or exhibit 2D
+    locality (texture-staged LBM grids); a simple line cache captures
+    the hit-rate distinction that matters for the timing model.
+    """
+
+    def __init__(self, capacity_bytes: int, line_bytes: int = 32) -> None:
+        if capacity_bytes % line_bytes:
+            raise ValueError("capacity must be a multiple of the line size")
+        self.line_bytes = line_bytes
+        self.num_lines = capacity_bytes // line_bytes
+        self.tags = np.full(self.num_lines, -1, dtype=np.int64)
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addresses: np.ndarray, active: np.ndarray) -> Tuple[int, int]:
+        """Access a vector of byte addresses; returns (hits, misses).
+
+        Duplicate lines within one access are counted once (warp-level
+        broadcast), matching constant-cache behaviour.
+        """
+        if not active.any():
+            return 0, 0
+        lines = np.unique(addresses[active] // self.line_bytes)
+        hits = misses = 0
+        for line in lines:
+            slot = int(line % self.num_lines)
+            if self.tags[slot] == line:
+                hits += 1
+            else:
+                self.tags[slot] = line
+                misses += 1
+        self.hits += hits
+        self.misses += misses
+        return hits, misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 1.0
+
+    def reset(self) -> None:
+        self.tags[:] = -1
+        self.hits = 0
+        self.misses = 0

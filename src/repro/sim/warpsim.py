@@ -1,0 +1,205 @@
+"""Event-driven per-SM warp simulator (the model cross-check).
+
+The analytical model of :mod:`repro.sim.timing` is a bound-and-
+bottleneck calculation; this module provides an independent,
+finer-grained estimate to validate it against (see DESIGN.md's three
+model fidelities).  It replays a recorded *instruction stream* of one
+thread block over all the warps resident on one SM:
+
+* a single issue unit serializes instruction issue (4 cycles per warp
+  instruction, 16 for SFU ops), picking the oldest ready warp
+  (round-robin over equal readiness — the G80's fair scheduler);
+* a global memory instruction blocks the issuing warp for the DRAM
+  latency plus queueing at a bandwidth-limited memory server whose
+  service time per transaction reflects the coalescing outcome;
+* ``__syncthreads`` parks a warp until every warp of its block has
+  arrived;
+* warps of different resident blocks interleave freely — which is
+  exactly the latency-hiding mechanism the paper's occupancy
+  discussion is about.
+
+The stream is recorded by :class:`repro.cuda.context.BlockContext`
+when a launch runs with ``record_stream=True`` (block-uniform kernels
+— every block executes the same code path — are the intended use, and
+all Section 4 kernels qualify).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..arch.device import DeviceSpec, DEFAULT_DEVICE
+from ..trace.instr import InstrClass, SFU_CLASSES, GLOBAL_MEMORY_CLASSES
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One block-wide instruction of the recorded stream."""
+
+    cls: InstrClass
+    active_warps: int = 1
+    #: memory transactions issued per *half-warp access* of this event
+    transactions_per_warp: float = 0.0
+    #: DRAM bus bytes per warp for this event
+    bus_bytes_per_warp: float = 0.0
+
+    @property
+    def is_sync(self) -> bool:
+        return self.cls is InstrClass.SYNC
+
+    @property
+    def is_global_mem(self) -> bool:
+        return self.cls in GLOBAL_MEMORY_CLASSES
+
+
+@dataclass
+class WarpSimResult:
+    cycles: float
+    seconds: float
+    issue_busy_cycles: float
+    mem_busy_cycles: float
+    instructions_issued: int
+
+    @property
+    def issue_utilization(self) -> float:
+        return self.issue_busy_cycles / self.cycles if self.cycles else 0.0
+
+
+class _Warp:
+    __slots__ = ("block", "wid", "pc", "ready_at", "at_barrier", "done")
+
+    def __init__(self, block: int, wid: int) -> None:
+        self.block = block
+        self.wid = wid
+        self.pc = 0
+        self.ready_at = 0.0
+        self.at_barrier = False
+        self.done = False
+
+
+def simulate_sm(
+    stream: Sequence[StreamEvent],
+    warps_per_block: int,
+    blocks_per_sm: int,
+    spec: DeviceSpec = DEFAULT_DEVICE,
+) -> WarpSimResult:
+    """Simulate one SM executing ``blocks_per_sm`` copies of the block.
+
+    Every warp executes the full stream (the DSL records block-wide
+    instructions; per-warp activity differences are second-order for
+    the block-uniform kernels this validates).
+    """
+    if not stream:
+        return WarpSimResult(0.0, 0.0, 0.0, 0.0, 0)
+    t = spec.timing
+    warps: List[_Warp] = [
+        _Warp(b, w) for b in range(blocks_per_sm)
+        for w in range(warps_per_block)
+    ]
+    n = len(warps)
+    issue_free = 0.0          # when the issue unit is next available
+    mem_free = 0.0            # when the memory server is next available
+    issue_busy = 0.0
+    mem_busy = 0.0
+    issued = 0
+    # bandwidth-derived service time for one warp's transactions,
+    # shared across the device's SMs
+    bytes_per_cycle_sm = (spec.dram_bandwidth_bytes_per_cycle
+                          * t.dram_efficiency / spec.num_sms)
+
+    def barrier_release(block: int, now: float) -> None:
+        members = [w for w in warps if w.block == block]
+        if all(m.at_barrier or m.done for m in members):
+            for m in members:
+                if m.at_barrier:
+                    m.at_barrier = False
+                    m.pc += 1
+                    m.ready_at = now
+
+    done_count = 0
+    guard = 0
+    max_steps = len(stream) * n * 4 + 1000
+    while done_count < n:
+        guard += 1
+        if guard > max_steps:  # pragma: no cover - defensive
+            raise RuntimeError("warpsim failed to converge (deadlock?)")
+        candidates = [w for w in warps if not w.done and not w.at_barrier]
+        if not candidates:  # pragma: no cover - defensive
+            raise RuntimeError("all warps blocked at barriers: deadlock")
+        w = min(candidates, key=lambda x: (x.ready_at, x.block, x.wid))
+        now = max(w.ready_at, issue_free)
+        ev = stream[w.pc]
+
+        if ev.is_sync:
+            w.at_barrier = True
+            barrier_release(w.block, now + t.sync_cycles)
+            continue
+
+        cost = (t.sfu_cycles_per_warp_inst if ev.cls in SFU_CLASSES
+                else t.issue_cycles_per_warp_inst)
+        if ev.is_global_mem:
+            # issue, then wait for latency + memory service
+            issue_free = now + t.issue_cycles_per_warp_inst
+            issue_busy += t.issue_cycles_per_warp_inst
+            replay = ev.transactions_per_warp * t.uncoalesced_replay_cycles \
+                if ev.transactions_per_warp > 2 else 0.0
+            issue_free += replay
+            issue_busy += replay
+            service = ev.bus_bytes_per_warp / bytes_per_cycle_sm \
+                if ev.bus_bytes_per_warp else 0.0
+            start = max(issue_free, mem_free)
+            mem_free = start + service
+            mem_busy += service
+            w.ready_at = mem_free + t.global_latency_cycles
+        else:
+            issue_free = now + cost
+            issue_busy += cost
+            w.ready_at = issue_free
+        issued += 1
+        w.pc += 1
+        if w.pc >= len(stream):
+            w.done = True
+            done_count += 1
+            barrier_release(w.block, w.ready_at)
+
+    cycles = max(max(w.ready_at for w in warps), issue_free, mem_free)
+    return WarpSimResult(
+        cycles=cycles,
+        seconds=cycles / (spec.sp_clock_ghz * 1e9),
+        issue_busy_cycles=issue_busy,
+        mem_busy_cycles=mem_busy,
+        instructions_issued=issued,
+    )
+
+
+def simulate_launch(result, spec: Optional[DeviceSpec] = None
+                    ) -> WarpSimResult:
+    """Extrapolate a whole launch from one SM-wave simulation.
+
+    ``result`` is a :class:`repro.cuda.launch.LaunchResult` produced
+    with ``record_stream=True``; the recorded block stream is replayed
+    on one SM at the launch's occupancy and scaled by the number of
+    block waves each SM processes.
+    """
+    spec = spec or result.spec
+    stream = result.stream
+    if stream is None:
+        raise ValueError("launch was not run with record_stream=True")
+    occ = result.occupancy()
+    if occ.blocks_per_sm == 0:
+        raise ValueError("kernel cannot be scheduled")
+    one_wave = simulate_sm(stream, occ.warps_per_block,
+                           occ.blocks_per_sm, spec)
+    n_sms = min(spec.num_sms, result.num_blocks)
+    waves = -(-result.num_blocks // (occ.blocks_per_sm * n_sms))
+    total_cycles = one_wave.cycles * waves
+    return WarpSimResult(
+        cycles=total_cycles,
+        seconds=total_cycles / (spec.sp_clock_ghz * 1e9)
+        + spec.timing.kernel_launch_overhead_s,
+        issue_busy_cycles=one_wave.issue_busy_cycles * waves,
+        mem_busy_cycles=one_wave.mem_busy_cycles * waves,
+        instructions_issued=one_wave.instructions_issued * waves,
+    )

@@ -1,0 +1,33 @@
+"""Dynamic instruction traces emitted by the kernel DSL.
+
+The trace layer plays the role of PTX inspection in the paper: it
+exposes the dynamic instruction mix, memory transaction counts and
+coalescing quality that Section 4's performance arguments are built on.
+"""
+
+from .instr import (
+    InstrClass,
+    FLOPS_PER_THREAD,
+    GLOBAL_MEMORY_CLASSES,
+    CACHED_MEMORY_CLASSES,
+    SFU_CLASSES,
+    SHARED_MEMORY_CLASSES,
+    flops_of,
+    is_global_memory,
+    is_sfu,
+)
+from .trace import ArrayAccessStats, KernelTrace
+
+__all__ = [
+    "InstrClass",
+    "FLOPS_PER_THREAD",
+    "GLOBAL_MEMORY_CLASSES",
+    "CACHED_MEMORY_CLASSES",
+    "SFU_CLASSES",
+    "SHARED_MEMORY_CLASSES",
+    "flops_of",
+    "is_global_memory",
+    "is_sfu",
+    "ArrayAccessStats",
+    "KernelTrace",
+]

@@ -1,0 +1,268 @@
+"""Kernel execution traces.
+
+A :class:`KernelTrace` is the bridge between the functional layer (the
+kernel DSL in :mod:`repro.cuda.context`, which executes kernels on real
+NumPy data) and the performance layer (:mod:`repro.sim`).  While a
+kernel runs, the DSL records
+
+* dynamic warp-instruction counts per :class:`~repro.trace.instr.InstrClass`
+  (divergence-aware: a warp instruction is counted whenever *any* thread
+  of the warp is active);
+* thread-instruction counts (for flop accounting);
+* global-memory transaction statistics from the coalescing model,
+  broken down per named array so that access-pattern figures such as
+  the paper's Figure 5 can be regenerated;
+* shared-memory bank-conflict serialization cycles;
+* constant/texture cache hit statistics and barrier counts.
+
+Traces are collected on a *sample* of thread blocks and scaled to the
+full grid with :meth:`KernelTrace.scaled`, mirroring how one reasons
+from per-block PTX in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .instr import InstrClass, flops_of, GLOBAL_MEMORY_CLASSES, SFU_CLASSES
+
+
+@dataclass
+class ArrayAccessStats:
+    """Per-array global-memory access statistics (drives Figure 5)."""
+
+    array: str
+    warp_accesses: float = 0.0      # half-warp access events
+    transactions: float = 0.0       # memory transactions issued
+    bus_bytes: float = 0.0          # bytes occupying the DRAM bus
+    useful_bytes: float = 0.0       # bytes actually requested by threads
+    coalesced_accesses: float = 0.0  # access events needing 1 transaction
+
+    @property
+    def transactions_per_access(self) -> float:
+        """Average transactions per half-warp access (1.0 = perfectly
+        coalesced on the G80)."""
+        if self.warp_accesses == 0:
+            return 0.0
+        return self.transactions / self.warp_accesses
+
+    @property
+    def bus_efficiency(self) -> float:
+        """Fraction of bus traffic that was actually requested data."""
+        if self.bus_bytes == 0:
+            return 1.0
+        return self.useful_bytes / self.bus_bytes
+
+    def merge(self, other: "ArrayAccessStats") -> None:
+        self.warp_accesses += other.warp_accesses
+        self.transactions += other.transactions
+        self.bus_bytes += other.bus_bytes
+        self.useful_bytes += other.useful_bytes
+        self.coalesced_accesses += other.coalesced_accesses
+
+    def scaled(self, factor: float) -> "ArrayAccessStats":
+        return ArrayAccessStats(
+            array=self.array,
+            warp_accesses=self.warp_accesses * factor,
+            transactions=self.transactions * factor,
+            bus_bytes=self.bus_bytes * factor,
+            useful_bytes=self.useful_bytes * factor,
+            coalesced_accesses=self.coalesced_accesses * factor,
+        )
+
+
+@dataclass
+class KernelTrace:
+    """Aggregated dynamic statistics of (part of) a kernel launch."""
+
+    warp_insts: Counter = field(default_factory=Counter)
+    thread_insts: Counter = field(default_factory=Counter)
+    flops: float = 0.0
+
+    # global memory
+    global_transactions: float = 0.0
+    global_bus_bytes: float = 0.0
+    global_useful_bytes: float = 0.0
+    uncoalesced_transactions: float = 0.0
+    per_array: Dict[str, ArrayAccessStats] = field(default_factory=dict)
+
+    # shared memory
+    shared_conflict_cycles: float = 0.0   # extra serialization cycles
+
+    # cached read-only paths
+    const_hits: float = 0.0
+    const_misses: float = 0.0
+    tex_hits: float = 0.0
+    tex_misses: float = 0.0
+
+    syncs: float = 0.0
+    blocks_traced: int = 0
+    threads_traced: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording API (called by the kernel DSL)
+    # ------------------------------------------------------------------
+    def record_instr(self, cls: InstrClass, warps: float, threads: float) -> None:
+        """Record ``warps`` warp-instructions covering ``threads`` active
+        threads of class ``cls``."""
+        self.warp_insts[cls] += warps
+        self.thread_insts[cls] += threads
+        self.flops += flops_of(cls) * threads
+        if cls is InstrClass.SYNC:
+            self.syncs += warps
+
+    def record_global_access(
+        self,
+        array: str,
+        warp_accesses: float,
+        transactions: float,
+        bus_bytes: float,
+        useful_bytes: float,
+        coalesced_accesses: float,
+    ) -> None:
+        """Record the coalescing outcome of global load/store events."""
+        self.global_transactions += transactions
+        self.global_bus_bytes += bus_bytes
+        self.global_useful_bytes += useful_bytes
+        self.uncoalesced_transactions += transactions - coalesced_accesses
+        stats = self.per_array.setdefault(array, ArrayAccessStats(array))
+        stats.warp_accesses += warp_accesses
+        stats.transactions += transactions
+        stats.bus_bytes += bus_bytes
+        stats.useful_bytes += useful_bytes
+        stats.coalesced_accesses += coalesced_accesses
+
+    def record_shared_conflict(self, extra_cycles: float) -> None:
+        self.shared_conflict_cycles += extra_cycles
+
+    def record_cache(self, space: str, hits: float, misses: float) -> None:
+        if space == "const":
+            self.const_hits += hits
+            self.const_misses += misses
+        elif space == "tex":
+            self.tex_hits += hits
+            self.tex_misses += misses
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown cached space {space!r}")
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def merge(self, other: "KernelTrace") -> None:
+        """Accumulate another trace (e.g. from another traced block)."""
+        self.warp_insts.update(other.warp_insts)
+        self.thread_insts.update(other.thread_insts)
+        self.flops += other.flops
+        self.global_transactions += other.global_transactions
+        self.global_bus_bytes += other.global_bus_bytes
+        self.global_useful_bytes += other.global_useful_bytes
+        self.uncoalesced_transactions += other.uncoalesced_transactions
+        for name, stats in other.per_array.items():
+            self.per_array.setdefault(name, ArrayAccessStats(name)).merge(stats)
+        self.shared_conflict_cycles += other.shared_conflict_cycles
+        self.const_hits += other.const_hits
+        self.const_misses += other.const_misses
+        self.tex_hits += other.tex_hits
+        self.tex_misses += other.tex_misses
+        self.syncs += other.syncs
+        self.blocks_traced += other.blocks_traced
+        self.threads_traced += other.threads_traced
+
+    def scaled(self, factor: float) -> "KernelTrace":
+        """Return this trace scaled by ``factor`` (sampled blocks ->
+        full grid extrapolation)."""
+        out = KernelTrace()
+        out.warp_insts = Counter({k: v * factor for k, v in self.warp_insts.items()})
+        out.thread_insts = Counter({k: v * factor for k, v in self.thread_insts.items()})
+        out.flops = self.flops * factor
+        out.global_transactions = self.global_transactions * factor
+        out.global_bus_bytes = self.global_bus_bytes * factor
+        out.global_useful_bytes = self.global_useful_bytes * factor
+        out.uncoalesced_transactions = self.uncoalesced_transactions * factor
+        out.per_array = {k: v.scaled(factor) for k, v in self.per_array.items()}
+        out.shared_conflict_cycles = self.shared_conflict_cycles * factor
+        out.const_hits = self.const_hits * factor
+        out.const_misses = self.const_misses * factor
+        out.tex_hits = self.tex_hits * factor
+        out.tex_misses = self.tex_misses * factor
+        out.syncs = self.syncs * factor
+        out.blocks_traced = self.blocks_traced  # identity of the sample
+        out.threads_traced = self.threads_traced * factor
+        return out
+
+    # ------------------------------------------------------------------
+    # Derived metrics (the paper's analysis vocabulary)
+    # ------------------------------------------------------------------
+    @property
+    def total_warp_insts(self) -> float:
+        return float(sum(self.warp_insts.values()))
+
+    @property
+    def fma_fraction(self) -> float:
+        """Fraction of dynamic instructions that are fused multiply-adds
+        — the paper's "1 out of 8" / "16 out of 59" metric."""
+        total = self.total_warp_insts
+        if total == 0:
+            return 0.0
+        return self.warp_insts[InstrClass.FMA] / total
+
+    @property
+    def flop_fraction(self) -> float:
+        """Fraction of instructions contributing flops (FMA/FADD/FMUL/SFU)."""
+        total = self.total_warp_insts
+        if total == 0:
+            return 0.0
+        n = sum(self.warp_insts[c] for c in
+                (InstrClass.FMA, InstrClass.FADD, InstrClass.FMUL, InstrClass.SFU))
+        return n / total
+
+    @property
+    def global_memory_warp_insts(self) -> float:
+        return float(sum(self.warp_insts[c] for c in GLOBAL_MEMORY_CLASSES))
+
+    @property
+    def sfu_warp_insts(self) -> float:
+        return float(sum(self.warp_insts[c] for c in SFU_CLASSES))
+
+    @property
+    def memory_to_compute_ratio(self) -> float:
+        """Global-memory warp instructions per non-memory warp
+        instruction — the paper Table 3 "ratio of global memory cycles
+        to computation cycles" analogue."""
+        mem = self.global_memory_warp_insts
+        comp = self.total_warp_insts - mem
+        if comp <= 0:
+            return float("inf") if mem > 0 else 0.0
+        return mem / comp
+
+    @property
+    def coalesced_fraction(self) -> float:
+        """Fraction of global transactions that came from fully
+        coalesced half-warp accesses."""
+        if self.global_transactions == 0:
+            return 1.0
+        return 1.0 - self.uncoalesced_transactions / self.global_transactions
+
+    def instruction_mix(self) -> Dict[str, float]:
+        """Normalized dynamic instruction mix (for reports)."""
+        total = self.total_warp_insts
+        if total == 0:
+            return {}
+        return {cls.value: count / total
+                for cls, count in sorted(self.warp_insts.items(),
+                                         key=lambda kv: -kv[1])}
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "warp_insts": self.total_warp_insts,
+            "flops": self.flops,
+            "fma_fraction": self.fma_fraction,
+            "global_transactions": self.global_transactions,
+            "global_bus_bytes": self.global_bus_bytes,
+            "coalesced_fraction": self.coalesced_fraction,
+            "memory_to_compute_ratio": self.memory_to_compute_ratio,
+            "shared_conflict_cycles": self.shared_conflict_cycles,
+            "syncs": self.syncs,
+        }

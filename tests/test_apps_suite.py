@@ -1,0 +1,326 @@
+"""Functional and characteristic tests for the 12-application suite."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS, get_app, iter_apps, suite_names
+from repro.cuda import Device
+
+
+class TestRegistry:
+    def test_suite_matches_table2_order(self):
+        assert suite_names() == [
+            "h264", "lbm", "rc5-72", "fem", "rpes", "pns",
+            "saxpy", "tpacf", "fdtd", "mri-q", "mri-fhd", "cp",
+        ]
+
+    def test_all_apps_includes_matmul(self):
+        assert "matmul" in ALL_APPS and len(ALL_APPS) == 13
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            get_app("doom")
+
+    def test_iter_apps_instantiates_suite(self):
+        apps = list(iter_apps())
+        assert len(apps) == 12
+        assert all(a.name for a in apps)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_APPS))
+def test_functional_verification(name):
+    """Every application's kernels reproduce their NumPy reference."""
+    get_app(name).verify()
+
+
+@pytest.mark.parametrize("name", sorted(ALL_APPS))
+def test_kernel_fraction_sane(name):
+    app = get_app(name)
+    assert 0.0 < app.kernel_fraction <= 1.0
+
+
+class TestSaxpy:
+    def test_iterations_accumulate(self):
+        app = get_app("saxpy")
+        run = app.run({"n": 1024, "a": 1.0, "iterations": 4})
+        ref = app.reference({"n": 1024, "a": 1.0, "iterations": 4})["y"]
+        np.testing.assert_allclose(run.outputs["y"], ref, rtol=1e-5)
+        assert len(run.launches) == 4
+
+    def test_memory_bound(self):
+        app = get_app("saxpy")
+        run = app.run({"n": 1 << 18, "a": 2.0, "iterations": 2},
+                      functional=False)
+        assert run.bottleneck == "memory bandwidth"
+        assert run.merged_trace.coalesced_fraction > 0.99
+
+
+class TestCp:
+    def test_chunked_constant_memory(self):
+        app = get_app("cp")
+        run = app.run({"width": 32, "height": 32, "natoms": 5000,
+                       "spacing": 0.1}, functional=True)
+        # 5000 atoms need two constant chunks -> two launches
+        assert len(run.launches) == 2
+        ref = app.reference({"width": 32, "height": 32, "natoms": 5000,
+                             "spacing": 0.1})["potential"]
+        np.testing.assert_allclose(run.outputs["potential"], ref,
+                                   rtol=1e-3, atol=1e-3)
+
+    def test_constant_cache_hits_dominate(self):
+        app = get_app("cp")
+        run = app.run(app.default_workload("test"), functional=False)
+        t = run.merged_trace
+        assert t.const_hits > 10 * t.const_misses
+
+
+class TestMri:
+    @pytest.mark.parametrize("name", ["mri-q", "mri-fhd"])
+    def test_sfu_heavy(self, name):
+        app = get_app(name)
+        run = app.run(app.default_workload("test"), functional=False)
+        t = run.merged_trace
+        assert t.sfu_warp_insts / t.total_warp_insts > 0.08
+
+    def test_q_beats_fhd(self):
+        """MRI-Q's leaner inner loop gives the higher speedup (paper:
+        457 vs 316)."""
+        q = get_app("mri-q")
+        f = get_app("mri-fhd")
+        rq = q.run(q.default_workload("test"), functional=False)
+        rf = f.run(f.default_workload("test"), functional=False)
+        assert rq.kernel_speedup > rf.kernel_speedup
+
+
+class TestFdtd:
+    def test_amdahl_cap(self):
+        """16.4% kernel fraction caps application speedup near 1.2X."""
+        app = get_app("fdtd")
+        run = app.run(app.default_workload("full"), functional=False)
+        assert run.kernel_speedup > 5
+        assert 1.0 < run.app_speedup < 1.25
+
+    def test_two_kernels_per_step(self):
+        app = get_app("fdtd")
+        run = app.run({"nx": 32, "ny": 32, "steps": 3, "total_steps": 3})
+        assert len(run.launches) == 6
+
+    def test_field_energy_structure(self):
+        """The pulse spreads: energy leaves the centre but is bounded."""
+        from repro.apps.fdtd import fdtd_reference
+        ez0, _, _ = fdtd_reference(64, 64, 0)
+        ez, hx, hy = fdtd_reference(64, 64, 30)
+        assert np.abs(ez).max() <= 1.5
+        assert np.abs(ez[32, 32]) < np.abs(ez0[32, 32])
+
+
+class TestLbm:
+    @pytest.mark.parametrize("layout", ["aos", "soa", "texture"])
+    def test_layouts_agree(self, layout):
+        app = get_app("lbm")
+        wl = {"nx": 32, "ny": 16, "steps": 2, "total_steps": 2,
+              "layout": layout}
+        run = app.run(wl)
+        ref = app.reference(wl)["f"]
+        np.testing.assert_allclose(run.outputs["f"], ref,
+                                   rtol=1e-3, atol=1e-4)
+
+    def test_mass_conserved(self):
+        app = get_app("lbm")
+        run = app.run({"nx": 32, "ny": 32, "steps": 4, "total_steps": 4,
+                       "layout": "soa"})
+        from repro.apps.lbm import _initial_f
+        assert run.outputs["f"].sum() == pytest.approx(
+            _initial_f(32, 32).sum(), rel=1e-4)
+
+    def test_shared_capacity_limits_blocks(self):
+        app = get_app("lbm")
+        run = app.run(app.default_workload("test"), functional=False)
+        occ = run.launches[0].occupancy()
+        assert occ.blocks_per_sm == 1
+        assert occ.limiter == "shared"      # the paper's LBM limiter
+
+    def test_aos_loads_fully_serialize(self):
+        app = get_app("lbm")
+        run = app.run({"nx": 64, "ny": 32, "steps": 1, "total_steps": 1,
+                       "layout": "aos"}, functional=False)
+        stats = run.merged_trace.per_array["f_a"]
+        assert stats.transactions_per_access == pytest.approx(16.0)
+
+    def test_bad_layout_rejected(self):
+        from repro.apps.lbm import lbm_step_kernel
+        with pytest.raises(ValueError, match="unknown LBM layout"):
+            lbm_step_kernel("zigzag")
+
+
+class TestFem:
+    def test_mesh_matrix_structure(self):
+        from repro.apps.fem import build_mesh_matrix
+        a, x0 = build_mesh_matrix(8)
+        assert a.shape == (64, 64)
+        # Laplacian rows sum to ~0 and diagonal is positive
+        assert np.abs(np.asarray(a.sum(axis=1))).max() < 1e-3
+        assert (a.diagonal() > 0).all()
+
+    def test_gathers_do_not_coalesce(self):
+        app = get_app("fem")
+        run = app.run(app.default_workload("test"), functional=False)
+        assert run.merged_trace.coalesced_fraction < 0.5
+
+
+class TestPns:
+    def test_bit_exact_vs_reference(self):
+        app = get_app("pns")
+        wl = {"nsims": 300, "places": 8, "steps": 20}
+        run = app.run(wl)
+        ref = app.reference(wl)
+        np.testing.assert_array_equal(run.outputs["marking"],
+                                      ref["marking"])
+
+    def test_token_conservation(self):
+        app = get_app("pns")
+        run = app.run({"nsims": 128, "places": 8, "steps": 32})
+        marking = run.outputs["marking"]
+        np.testing.assert_array_equal(marking.sum(axis=0), 8)
+        assert (marking >= 0).all()
+
+    def test_capacity_batching(self):
+        app = get_app("pns")
+        assert app.max_sims_per_batch(places=64) * 64 * 8 \
+            <= app.spec.dram_capacity_bytes
+
+    def test_bottleneck_note(self):
+        assert "global memory capacity" in get_app("pns").bottleneck_note
+
+
+class TestRc5:
+    def test_finds_planted_key(self):
+        app = get_app("rc5-72")
+        run = app.run({"nkeys": 384, "secret_index": 123})
+        assert run.outputs["found"][0] == 124     # tid + 1
+
+    def test_native_rotate_variant_matches(self):
+        app = get_app("rc5-72")
+        run = app.run({"nkeys": 384, "secret_index": 55,
+                       "native_rotate": True})
+        assert run.outputs["found"][0] == 56
+
+    def test_native_rotate_is_faster(self):
+        app = get_app("rc5-72")
+        em = app.run({"nkeys": 1 << 12, "secret_index": 7},
+                     functional=False)
+        na = app.run({"nkeys": 1 << 12, "secret_index": 7,
+                      "native_rotate": True}, functional=False)
+        assert na.gpu_kernel_seconds < em.gpu_kernel_seconds
+
+    def test_reference_cipher_deterministic(self):
+        from repro.apps.rc5 import rc5_reference_encrypt
+        import numpy as np
+        keys = np.array([[1, 2], [1, 2], [3, 4]], dtype=np.int64)
+        x, y = rc5_reference_encrypt(keys, (0x1111, 0x2222))
+        assert x[0] == x[1] and y[0] == y[1]
+        assert (x[0], y[0]) != (x[2], y[2])
+        assert 0 <= x.max() <= 0xFFFFFFFF
+
+
+class TestTpacf:
+    def test_histogram_totals(self):
+        app = get_app("tpacf")
+        wl = {"ndata": 96, "nrandom": 64}
+        run = app.run(wl)
+        nd, nr = 96, 64
+        assert run.outputs["DD"].sum() == nd * (nd - 1) // 2
+        assert run.outputs["RR"].sum() == nr * (nr - 1) // 2
+        assert run.outputs["DR"].sum() == nd * nr
+
+    def test_private_histograms_avoid_conflicts(self):
+        app = get_app("tpacf")
+        run = app.run({"ndata": 128, "nrandom": 64}, functional=False)
+        t = run.merged_trace
+        # bin-major private histograms are conflict-free; the residual
+        # serialization (a few % of issue slots) comes from the
+        # binary search's divergent reads of the staged edge table
+        issue_cycles = 4.0 * t.total_warp_insts
+        assert t.shared_conflict_cycles < 0.10 * issue_cycles
+
+
+class TestRpes:
+    def test_boys_f0_against_scipy(self):
+        from scipy.special import erf
+        from repro.apps.rpes import boys_f0_numpy
+        t = np.linspace(0.0, 50.0, 4001).astype(np.float32)
+        exact = np.where(
+            t < 1e-12, 1.0,
+            0.5 * np.sqrt(np.pi / np.maximum(t, 1e-12))
+            * erf(np.sqrt(np.maximum(t, 1e-12))))
+        assert np.abs(boys_f0_numpy(t) - exact).max() < 1e-5
+
+    def test_integral_symmetry(self):
+        """(ab|cd) must equal (ba|dc) — swap bra and ket partners."""
+        from repro.apps.rpes import rpes_reference
+        rng = np.random.default_rng(3)
+        n = 64
+        qs = {k: rng.uniform(0.5, 2.0, n).astype(np.float32)
+              for k in "abcd"}
+        for k in "abcd":
+            qs["r" + k] = rng.uniform(-1, 1, (n, 3)).astype(np.float32)
+        swapped = {"a": qs["b"], "b": qs["a"], "c": qs["d"], "d": qs["c"],
+                   "ra": qs["rb"], "rb": qs["ra"],
+                   "rc": qs["rd"], "rd": qs["rc"]}
+        np.testing.assert_allclose(rpes_reference(qs),
+                                   rpes_reference(swapped), rtol=1e-4)
+
+    def test_batches_scale_work(self):
+        app = get_app("rpes")
+        one = app.run({"batches": 1}, functional=False)
+        two = app.run({"batches": 2}, functional=False)
+        assert two.merged_trace.flops == pytest.approx(
+            2 * one.merged_trace.flops, rel=0.01)
+
+
+class TestH264:
+    def test_motion_vectors_match_reference(self):
+        app = get_app("h264")
+        run = app.run({"width": 64, "height": 48, "frames": 1})
+        ref = app.reference({"width": 64, "height": 48})["best"]
+        np.testing.assert_array_equal(run.outputs["best"], ref)
+
+    def test_motion_recovers_global_shift(self):
+        """The synthetic pair is shifted by (dx=+2, dy=-3); interior
+        macroblocks should find that vector."""
+        from repro.apps.h264 import CAND, R
+        app = get_app("h264")
+        run = app.run({"width": 96, "height": 96, "frames": 1})
+        best = run.outputs["best"]
+        # interior MB: candidate index of (dy=-3, dx=+2)
+        expect = (-3 + R) * CAND + (2 + R)
+        interior = best[1:-1, 1:-1]
+        assert (interior == expect).mean() > 0.8
+
+    def test_transfers_rival_gpu_time(self):
+        app = get_app("h264")
+        run = app.run(app.default_workload("full"), functional=False)
+        assert run.transfer_seconds > 0.5 * run.gpu_kernel_seconds
+
+    def test_low_app_speedup(self):
+        app = get_app("h264")
+        run = app.run(app.default_workload("full"), functional=False)
+        assert run.app_speedup < 2.0     # paper: 1.47
+
+
+class TestMatmulEntry:
+    def test_registry_matmul_runs(self):
+        app = get_app("matmul")
+        run = app.run({"n": 32, "variant": "tiled", "tile": 16})
+        assert "C" in run.outputs
+
+
+class TestSharedDevice:
+    def test_two_apps_can_share_a_device(self):
+        dev = Device()
+        saxpy = get_app("saxpy")
+        saxpy.run({"n": 2048, "a": 1.5, "iterations": 1}, device=dev)
+        cp = get_app("cp")
+        cp.run({"width": 32, "height": 32, "natoms": 32, "spacing": 0.1},
+               device=dev)
+        assert dev.bytes_allocated > 0

@@ -1,0 +1,113 @@
+"""Tests for the hardware description layer (paper Section 3.2 / Table 1)."""
+
+import pytest
+
+from repro.arch import (
+    DEFAULT_DEVICE,
+    DeviceSpec,
+    TimingParams,
+    format_memory_table,
+    geforce_8800_gtx,
+    memory_table,
+)
+
+
+class TestDeviceSpec:
+    def test_paper_peak_mad_gflops(self):
+        # 16 SMs * 8 SPs * 2 flops * 1.35 GHz = 345.6 GFLOPS (Section 3.2)
+        assert DEFAULT_DEVICE.peak_mad_gflops == pytest.approx(345.6)
+
+    def test_paper_peak_with_sfu(self):
+        # 16 SMs * 18 FLOPS/SM * 1.35 GHz = 388.8 GFLOPS (Section 3.2)
+        assert DEFAULT_DEVICE.peak_gflops_with_sfu == pytest.approx(388.8)
+
+    def test_total_sps(self):
+        assert DEFAULT_DEVICE.num_sps == 128
+
+    def test_max_warps_per_sm(self):
+        # 768 threads / 32-thread warps = 24 warps
+        assert DEFAULT_DEVICE.max_warps_per_sm == 24
+
+    def test_device_wide_thread_limit(self):
+        # Table 3 is capped at 12288 simultaneously active threads
+        assert DEFAULT_DEVICE.max_active_threads == 12288
+
+    def test_coalescing_segment_is_16_words(self):
+        assert DEFAULT_DEVICE.coalesce_segment_words == 16
+        assert DEFAULT_DEVICE.coalesce_segment_bytes == 64
+
+    def test_dram_bandwidth(self):
+        assert DEFAULT_DEVICE.dram_bandwidth_gbs == pytest.approx(86.4)
+        assert DEFAULT_DEVICE.dram_bandwidth_bytes_per_cycle == pytest.approx(64.0)
+
+    def test_register_file_and_shared_sizes(self):
+        assert DEFAULT_DEVICE.registers_per_sm == 8192
+        assert DEFAULT_DEVICE.shared_mem_per_sm == 16 * 1024
+
+    def test_factory_returns_equivalent_spec(self):
+        assert geforce_8800_gtx() == DEFAULT_DEVICE
+
+    def test_with_timing_overrides_only_timing(self):
+        spec = DEFAULT_DEVICE.with_timing(dram_efficiency=0.5)
+        assert spec.timing.dram_efficiency == 0.5
+        assert spec.num_sms == DEFAULT_DEVICE.num_sms
+        # original untouched (frozen dataclasses)
+        assert DEFAULT_DEVICE.timing.dram_efficiency != 0.5
+
+    def test_with_timing_rejects_unknown_field(self):
+        with pytest.raises(TypeError):
+            DEFAULT_DEVICE.with_timing(not_a_knob=1.0)
+
+    def test_describe_contains_headline_numbers(self):
+        d = DEFAULT_DEVICE.describe()
+        assert d["SMs"] == 16
+        assert d["peak MAD GFLOPS"] == pytest.approx(345.6)
+
+    def test_spec_is_immutable(self):
+        with pytest.raises(Exception):
+            DEFAULT_DEVICE.num_sms = 32  # type: ignore[misc]
+
+    def test_alternative_device_scales_peaks(self):
+        half = DeviceSpec(name="half-G80", num_sms=8)
+        assert half.peak_mad_gflops == pytest.approx(172.8)
+        assert half.max_active_threads == 6144
+
+
+class TestMemoryTable:
+    def test_five_spaces(self):
+        names = [row.name for row in memory_table()]
+        assert names == ["Global", "Shared", "Constant", "Texture", "Local"]
+
+    def test_read_only_flags(self):
+        ro = {row.name: row.read_only for row in memory_table()}
+        assert ro["Constant"] and ro["Texture"]
+        assert not ro["Global"] and not ro["Shared"] and not ro["Local"]
+
+    def test_cached_flags(self):
+        cached = {row.name: row.cached for row in memory_table()}
+        assert cached["Constant"] and cached["Texture"]
+        assert not cached["Global"]
+
+    def test_scopes(self):
+        scope = {row.name: row.scope for row in memory_table()}
+        assert scope["Shared"] == "thread block"
+        assert scope["Local"] == "single thread"
+        assert "grid" in scope["Global"]
+
+    def test_sizes_follow_spec(self):
+        rows = {row.name: row for row in memory_table()}
+        assert "768 MB" in rows["Global"].size
+        assert "16 KB" in rows["Shared"].size
+        assert "64 KB" in rows["Constant"].size
+
+    def test_format_renders_all_rows(self):
+        text = format_memory_table()
+        for name in ("Global", "Shared", "Constant", "Texture", "Local"):
+            assert name in text
+        # header separator present
+        assert "---" in text
+
+    def test_table_respects_custom_spec(self):
+        spec = DeviceSpec(dram_capacity_bytes=512 * 1024 * 1024)
+        rows = {row.name: row for row in memory_table(spec)}
+        assert "512 MB" in rows["Global"].size

@@ -1,0 +1,95 @@
+"""Tests for the benchmark harness (runners, formatting, paper data)."""
+
+import pytest
+
+from repro.bench import (
+    format_table,
+    run_figure4,
+    run_figure5,
+    run_section4,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.data import paper
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["name", "value"],
+                            [("alpha", 1.0), ("b", 123.456)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "alpha" in lines[2] and "123" in lines[3]
+
+    def test_title(self):
+        text = format_table(["a"], [("x",)], title="My Table")
+        assert text.startswith("My Table\n========")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [(0.1234,), (12.3456,), (1234.5,)])
+        assert "0.123" in text and "12.35" in text and "1234" in text
+
+
+class TestPaperData:
+    def test_prose_anchors(self):
+        assert paper.MATMUL_GFLOPS["naive"].provenance == paper.PROSE
+        assert float(paper.MATMUL_GFLOPS["naive"]) == 10.58
+        assert paper.MATMUL_BW_DEMAND_GBS.value == 173.0
+
+    def test_reconstructed_marked(self):
+        assert paper.FIGURE4_GFLOPS["8x8"].mark == " (r)"
+        assert paper.FIGURE4_GFLOPS["not tiled"].mark == ""
+
+    def test_table2_covers_suite(self):
+        from repro.apps import suite_names
+        assert set(paper.TABLE2) == set(suite_names())
+        assert paper.TABLE2["fdtd"].kernel_fraction == 0.164
+        assert paper.TABLE2["h264"].source_lines == 34811
+
+    def test_table3_ranges(self):
+        kernels = [r.kernel_speedup.value for r in paper.TABLE3.values()]
+        assert min(kernels) == paper.KERNEL_SPEEDUP_RANGE[0]
+        assert max(kernels) == paper.KERNEL_SPEEDUP_RANGE[1]
+        apps = [r.app_speedup.value for r in paper.TABLE3.values()]
+        assert min(apps) == paper.APP_SPEEDUP_RANGE[0]
+        assert max(apps) == paper.APP_SPEEDUP_RANGE[1]
+
+
+class TestRunners:
+    """Smoke-level runs at reduced problem sizes (the benchmarks/ tree
+    runs them at paper scale)."""
+
+    def test_table1(self):
+        res = run_table1()
+        assert len(res.rows) == 5
+        assert "Table 1" in res.render()
+
+    def test_section4_small(self):
+        res = run_section4(n=512, trace_blocks=1)
+        measured = {row[0]: row[1] for row in res.rows}
+        assert measured["tiled_unrolled"] > measured["naive"] * 5
+        assert "43.2" in res.notes[0]
+
+    def test_figure4_small(self):
+        res = run_figure4(n=512, trace_blocks=1)
+        assert len(res.rows) == 9
+        g = {row[0]: row[1] for row in res.rows}
+        assert g["16x16 unrolled"] == max(g.values())
+
+    def test_table2(self):
+        res = run_table2()
+        assert len(res.rows) == 12
+        assert all(row[4] > 50 for row in res.rows)   # our modules exist
+
+    def test_table3_subset(self):
+        res = run_table3(scale="test", names=["saxpy", "cp"])
+        assert len(res.rows) == 2
+        rendered = res.render()
+        assert "saxpy" in rendered and "cp" in rendered
+
+    def test_figure5_small(self):
+        res = run_figure5(nx=64, ny=32)
+        layouts = [row[0] for row in res.rows]
+        assert layouts == ["aos", "soa", "texture"]
+        assert "2.8X" in res.notes[0]

@@ -1,0 +1,63 @@
+"""Tests for the calibration machinery and the frozen defaults."""
+
+import numpy as np
+import pytest
+
+from repro.arch import DEFAULT_DEVICE
+from repro.sim.calibration import (
+    SECTION4_ANCHORS,
+    calibrate,
+    collect_anchor_traces,
+    report,
+)
+from repro.sim.timing import estimate_time
+
+
+@pytest.fixture(scope="module")
+def traces():
+    # reduced problem size keeps the suite fast; instruction mixes and
+    # coalescing behaviour are size-independent for these kernels
+    return collect_anchor_traces(n=1024, trace_blocks=2)
+
+
+class TestAnchors:
+    def test_anchor_set(self):
+        assert set(SECTION4_ANCHORS) == {
+            "naive", "tiled", "tiled_unrolled", "prefetch"}
+        assert SECTION4_ANCHORS["naive"] == 10.58
+        assert SECTION4_ANCHORS["tiled_unrolled"] == 91.14
+
+    def test_frozen_defaults_reproduce_anchors(self, traces):
+        """The shipped TimingParams must land within 10% of every
+        Section 4 number (the fit itself achieves ~3.4% at n=4096)."""
+        for variant, target in SECTION4_ANCHORS.items():
+            trace, nb, tpb, regs, smem = traces[variant]
+            est = estimate_time(trace, nb, tpb, regs, smem,
+                                spec=DEFAULT_DEVICE)
+            assert est.gflops == pytest.approx(target, rel=0.12), variant
+
+    def test_report_renders(self, traces):
+        text = report(traces)
+        for variant in SECTION4_ANCHORS:
+            assert variant in text
+
+
+class TestCalibrate:
+    def test_grid_search_improves_or_matches_defaults(self, traces):
+        params, err = calibrate(
+            traces,
+            efficiencies=np.array([0.7, 0.8, 0.9]),
+            replays=np.array([2.0, 3.0, 4.0]),
+            latencies=np.array([400.0]),
+        )
+        assert err < 0.25
+        assert params.dram_efficiency in (0.7, 0.8, 0.9)
+
+    def test_fit_error_metric_positive(self, traces):
+        _, err = calibrate(
+            traces,
+            efficiencies=np.array([0.8]),
+            replays=np.array([3.0]),
+            latencies=np.array([400.0]),
+        )
+        assert 0.0 <= err < 0.25

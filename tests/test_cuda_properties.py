@@ -1,0 +1,161 @@
+"""Property-based tests of the kernel DSL's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import DEFAULT_DEVICE
+from repro.cuda import Device, Dim3, kernel, launch
+from repro.cuda.context import BlockContext
+from repro.trace import InstrClass, KernelTrace
+
+
+def ctx_of(nthreads):
+    return BlockContext(DEFAULT_DEVICE, Dim3(1), Dim3(nthreads), (0, 0, 0),
+                        trace=KernelTrace())
+
+
+@settings(max_examples=50, deadline=None)
+@given(nthreads=st.integers(1, 512))
+def test_warp_count_matches_ceiling(nthreads):
+    ctx = ctx_of(nthreads)
+    ctx.fadd(1.0, 1.0)
+    assert ctx.trace.warp_insts[InstrClass.FADD] == -(-nthreads // 32)
+    assert ctx.trace.thread_insts[InstrClass.FADD] == nthreads
+
+
+@settings(max_examples=50, deadline=None)
+@given(nthreads=st.integers(32, 512), data=st.data())
+def test_masked_threads_never_exceed_block(nthreads, data):
+    ctx = ctx_of(nthreads)
+    cutoff = data.draw(st.integers(0, nthreads))
+    with ctx.masked(ctx.tid < cutoff):
+        ctx.fma(1.0, 2.0, 3.0)
+    assert ctx.trace.thread_insts[InstrClass.FMA] == cutoff
+    assert ctx.trace.warp_insts[InstrClass.FMA] <= -(-nthreads // 32)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    a=st.integers(0, (1 << 32) - 1),
+    b=st.integers(0, (1 << 32) - 1),
+)
+def test_integer_ops_match_python_semantics(a, b):
+    ctx = ctx_of(4)
+    mask = (1 << 32) - 1
+    assert int(ctx.iand(ctx.iadd(a, b), mask)[0]) == (a + b) & mask
+    assert int(ctx.ixor(a, b)[0]) == a ^ b
+    assert int(ctx.ior(a, b)[0]) == a | b
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=st.floats(-1e6, 1e6), y=st.floats(-1e6, 1e6),
+       z=st.floats(-1e6, 1e6))
+def test_fma_matches_float32_arithmetic(x, y, z):
+    ctx = ctx_of(4)
+    got = ctx.fma(np.float32(x), np.float32(y), np.float32(z))[0]
+    want = np.float32(np.float32(x) * np.float32(y) + np.float32(z))
+    assert got == pytest.approx(want, rel=1e-6, abs=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=st.lists(st.floats(-100, 100), min_size=32, max_size=32))
+def test_global_roundtrip_preserves_values(values):
+    dev = Device()
+    arr = dev.to_device(np.array(values, dtype=np.float32), "v")
+    ctx = ctx_of(32)
+    loaded = ctx.ld_global(arr, ctx.tid)
+    ctx.st_global(arr, ctx.tid, loaded)
+    np.testing.assert_array_equal(arr.to_host(),
+                                  np.array(values, dtype=np.float32))
+
+
+@settings(max_examples=30, deadline=None)
+@given(perm=st.permutations(list(range(64))))
+def test_shared_memory_permutation_roundtrip(perm):
+    ctx = ctx_of(64)
+    sh = ctx.shared_alloc(64, np.float32)
+    p = np.array(perm, dtype=np.int64)
+    ctx.st_shared(sh, p, ctx.tid.astype(np.float32))
+    back = ctx.ld_shared(sh, p)
+    np.testing.assert_array_equal(back, ctx.tid.astype(np.float32))
+
+
+@settings(max_examples=30, deadline=None)
+@given(nblocks=st.integers(1, 64))
+def test_grid_covers_every_element_exactly_once(nblocks):
+    dev = Device()
+    n = nblocks * 64
+    arr = dev.to_device(np.zeros(n, np.float32), "x")
+
+    @kernel("inc", regs_per_thread=4)
+    def inc(ctx, x):
+        i = ctx.global_tid()
+        ctx.st_global(x, i, ctx.ld_global(x, i) + 1.0)
+
+    launch(inc, (nblocks,), (64,), (arr,), device=dev, trace=False)
+    np.testing.assert_array_equal(arr.to_host(), 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nthreads=st.integers(1, 256),
+    ops=st.lists(st.sampled_from(["fma", "fadd", "iadd", "sfu"]),
+                 min_size=1, max_size=20),
+)
+def test_trace_counts_are_exact(nthreads, ops):
+    """The trace records exactly the instructions the kernel emits."""
+    ctx = ctx_of(nthreads)
+    for op in ops:
+        if op == "fma":
+            ctx.fma(1.0, 1.0, 1.0)
+        elif op == "fadd":
+            ctx.fadd(1.0, 1.0)
+        elif op == "iadd":
+            ctx.iadd(1, 1)
+        else:
+            ctx.sfu_sin(0.5)
+    warps = -(-nthreads // 32)
+    assert ctx.trace.total_warp_insts == len(ops) * warps
+    expected_flops = sum({"fma": 2, "fadd": 1, "iadd": 0, "sfu": 1}[o]
+                         for o in ops) * nthreads
+    assert ctx.trace.flops == expected_flops
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2 ** 16),
+    nthreads=st.integers(16, 128),
+)
+def test_select_equals_masked_merge(seed, nthreads):
+    """Predicated select and branch-plus-merge produce identical
+    values (only their costs differ)."""
+    rng = np.random.default_rng(seed)
+    cond = rng.random(nthreads) > 0.5
+    a = rng.standard_normal(nthreads).astype(np.float32)
+    b = rng.standard_normal(nthreads).astype(np.float32)
+
+    ctx1 = ctx_of(nthreads)
+    via_select = ctx1.select(cond, a, b)
+
+    ctx2 = ctx_of(nthreads)
+    out = b.copy()
+    with ctx2.masked(cond):
+        out = ctx2.merge(a, out).astype(np.float32)
+    np.testing.assert_array_equal(via_select, out)
+
+
+@settings(max_examples=20, deadline=None)
+@given(nthreads=st.integers(1, 512))
+def test_stream_length_matches_trace(nthreads):
+    """With stream recording on, every traced warp instruction has a
+    stream event."""
+    stream = []
+    ctx = BlockContext(DEFAULT_DEVICE, Dim3(1), Dim3(nthreads), (0, 0, 0),
+                       trace=KernelTrace(), stream=stream)
+    ctx.fma(1.0, 1.0, 1.0)
+    ctx.iadd(1, 2)
+    ctx.sync()
+    assert len(stream) == 3
+    assert [e.cls for e in stream] == [InstrClass.FMA, InstrClass.IALU,
+                                       InstrClass.SYNC]

@@ -1,0 +1,74 @@
+"""Tests for CUDA-style Dim3 coordinates."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cuda import Dim3, as_dim3
+
+
+class TestDim3:
+    def test_defaults_are_ones(self):
+        d = Dim3()
+        assert (d.x, d.y, d.z) == (1, 1, 1)
+        assert d.size == 1
+
+    def test_size(self):
+        assert Dim3(16, 16).size == 256
+        assert Dim3(4, 5, 6).size == 120
+
+    def test_linear_x_fastest(self):
+        d = Dim3(16, 16)
+        assert d.linear(0, 0) == 0
+        assert d.linear(1, 0) == 1
+        assert d.linear(0, 1) == 16
+        assert d.linear(3, 2) == 35
+
+    def test_iteration_order_matches_linear(self):
+        d = Dim3(3, 2, 2)
+        coords = list(d)
+        assert len(coords) == d.size
+        for i, (x, y, z) in enumerate(coords):
+            assert d.linear(x, y, z) == i
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Dim3(0)
+        with pytest.raises(ValueError):
+            Dim3(4, -1)
+
+    def test_as_dim3_int(self):
+        assert as_dim3(256) == Dim3(256)
+
+    def test_as_dim3_tuple(self):
+        assert as_dim3((16, 16)) == Dim3(16, 16)
+        assert as_dim3((2, 3, 4)) == Dim3(2, 3, 4)
+
+    def test_as_dim3_passthrough(self):
+        d = Dim3(8, 8)
+        assert as_dim3(d) is d
+
+    def test_as_dim3_rejects_bad_inputs(self):
+        with pytest.raises(TypeError):
+            as_dim3("16")
+        with pytest.raises(ValueError):
+            as_dim3((1, 2, 3, 4))
+
+    def test_str(self):
+        assert str(Dim3(16, 16)) == "(16, 16, 1)"
+
+
+@given(
+    dims=st.tuples(st.integers(1, 32), st.integers(1, 32), st.integers(1, 8)),
+    data=st.data(),
+)
+def test_linear_unlinear_roundtrip(dims, data):
+    d = Dim3(*dims)
+    idx = data.draw(st.integers(0, d.size - 1))
+    assert d.linear(*d.unlinear(idx)) == idx
+
+
+@given(dims=st.tuples(st.integers(1, 16), st.integers(1, 16), st.integers(1, 4)))
+def test_unlinear_in_bounds(dims):
+    d = Dim3(*dims)
+    x, y, z = d.unlinear(d.size - 1)
+    assert 0 <= x < d.x and 0 <= y < d.y and 0 <= z < d.z

@@ -1,0 +1,167 @@
+"""Tests for kernel launch machinery, trace scaling and device memory."""
+
+import numpy as np
+import pytest
+
+from repro.arch import DEFAULT_DEVICE
+from repro.cuda import (
+    CudaModelError,
+    Device,
+    OutOfDeviceMemory,
+    kernel,
+    launch,
+)
+from repro.trace import InstrClass
+
+
+@kernel("double_it", regs_per_thread=4)
+def double_it(ctx, x):
+    i = ctx.global_tid()
+    v = ctx.ld_global(x, i)
+    ctx.st_global(x, i, ctx.fmul(v, 2.0))
+
+
+@kernel("block_id_writer", regs_per_thread=4)
+def block_id_writer(ctx, out):
+    i = ctx.global_tid()
+    ctx.st_global(out, i, float(ctx.block_linear))
+
+
+class TestLaunchValidation:
+    def test_block_too_large(self):
+        dev = Device()
+        x = dev.alloc(2048, np.float32)
+        with pytest.raises(CudaModelError, match="512-thread"):
+            launch(double_it, (2,), (1024,), (x,), device=dev)
+
+    def test_grid_dim_limit(self):
+        with pytest.raises(CudaModelError, match="per-dimension"):
+            launch(double_it, (70000,), (32,), (None,), device=Device())
+
+    def test_3d_grid_rejected(self):
+        with pytest.raises(CudaModelError, match="two-dimensional"):
+            launch(double_it, (2, 2, 2), (32,), (None,), device=Device())
+
+
+class TestFunctionalExecution:
+    def test_all_blocks_execute(self):
+        dev = Device()
+        x = dev.to_device(np.ones(1024, np.float32), "x")
+        result = launch(double_it, (4,), (256,), (x,), device=dev)
+        assert result.blocks_executed == 4
+        np.testing.assert_array_equal(x.to_host(), 2.0)
+
+    def test_2d_grid_block_coordinates(self):
+        dev = Device()
+        out = dev.alloc(16 * 4, np.float32, "out")
+        result = launch(block_id_writer, (2, 2), (16,), (out,), device=dev)
+        host = out.to_host()
+        # blocks 0..3 each wrote their linear id into their 16 slots
+        for b in range(4):
+            assert (host[b * 16:(b + 1) * 16] == b).all()
+        assert result.num_blocks == 4
+
+    def test_perf_only_mode_runs_sample(self):
+        dev = Device()
+        x = dev.to_device(np.ones(256 * 64, np.float32), "x")
+        result = launch(double_it, (64,), (256,), (x,), device=dev,
+                        functional=False, trace_blocks=4)
+        assert result.blocks_executed == 4
+        assert result.blocks_traced == 4
+        # untouched blocks remain at 1.0
+        assert (x.to_host() == 1.0).sum() >= 60 * 256
+
+
+class TestTraceScaling:
+    def test_trace_scales_to_grid(self):
+        dev = Device()
+        x = dev.to_device(np.ones(256 * 64, np.float32), "x")
+        result = launch(double_it, (64,), (256,), (x,), device=dev,
+                        functional=False, trace_blocks=4)
+        t = result.trace
+        # 64 blocks x 8 warps x 1 FMUL each
+        assert t.warp_insts[InstrClass.FMUL] == pytest.approx(64 * 8)
+        assert t.thread_insts[InstrClass.FMUL] == pytest.approx(64 * 256)
+        assert t.threads_traced == pytest.approx(64 * 256)
+
+    def test_trace_disabled(self):
+        dev = Device()
+        x = dev.to_device(np.ones(256, np.float32), "x")
+        result = launch(double_it, (1,), (256,), (x,), device=dev,
+                        trace=False)
+        assert result.trace.total_warp_insts == 0
+
+    def test_full_trace_matches_sampled_trace_for_uniform_kernel(self):
+        dev1, dev2 = Device(), Device()
+        x1 = dev1.to_device(np.ones(256 * 16, np.float32), "x")
+        x2 = dev2.to_device(np.ones(256 * 16, np.float32), "x")
+        full = launch(double_it, (16,), (256,), (x1,), device=dev1,
+                      trace_blocks=16)
+        sampled = launch(double_it, (16,), (256,), (x2,), device=dev2,
+                         trace_blocks=2)
+        assert sampled.trace.total_warp_insts == pytest.approx(
+            full.trace.total_warp_insts)
+        assert sampled.trace.global_bus_bytes == pytest.approx(
+            full.trace.global_bus_bytes)
+
+    def test_occupancy_accessor(self):
+        dev = Device()
+        x = dev.to_device(np.ones(512, np.float32), "x")
+        result = launch(double_it, (2,), (256,), (x,), device=dev)
+        occ = result.occupancy()
+        assert occ.blocks_per_sm == 3
+        assert result.total_threads == 512
+
+
+class TestDeviceMemory:
+    def test_alignment(self):
+        dev = Device()
+        a = dev.alloc(3, np.float32)
+        b = dev.alloc(3, np.float32)
+        assert a.base_addr % 256 == 0
+        assert b.base_addr % 256 == 0
+        assert b.base_addr > a.base_addr
+
+    def test_out_of_memory(self):
+        dev = Device()
+        with pytest.raises(OutOfDeviceMemory):
+            dev.alloc(900 * 1024 * 1024 // 4, np.float32)   # > 768 MB
+
+    def test_constant_space_limit(self):
+        dev = Device()
+        dev.to_constant(np.zeros(8000, np.float32))     # 32 KB ok
+        with pytest.raises(OutOfDeviceMemory, match="constant"):
+            dev.to_constant(np.zeros(9000, np.float32))  # 36 KB more
+
+    def test_transfer_ledger(self):
+        dev = Device()
+        x = dev.to_device(np.zeros(1 << 20, np.float32), "x")  # 4 MB
+        dev.from_device(x)
+        assert dev.transfer_bytes("h2d") == 4 << 20
+        assert dev.transfer_bytes("d2h") == 4 << 20
+        # h2d at 1.5 GB/s ~ 2.8 ms + overhead
+        assert dev.transfer_seconds("h2d") == pytest.approx(
+            15e-6 + (4 << 20) / 1.5e9, rel=1e-6)
+        dev.reset_transfers()
+        assert dev.transfer_seconds() == 0.0
+
+    def test_name_collision_resolved(self):
+        dev = Device()
+        a = dev.alloc(4, np.float32, "x")
+        b = dev.alloc(4, np.float32, "x")
+        assert a.name != b.name
+
+    def test_2d_array_flattening(self):
+        dev = Device()
+        m = np.arange(12, dtype=np.float32).reshape(3, 4)
+        d = dev.to_device(m, "m")
+        assert d.shape == (3, 4)
+        np.testing.assert_array_equal(d.to_host(), m)
+        np.testing.assert_array_equal(d.data, m.ravel())
+
+    def test_addresses(self):
+        dev = Device()
+        d = dev.to_device(np.zeros(8, np.float64), "m")
+        idx = np.array([0, 1, 2])
+        np.testing.assert_array_equal(
+            d.addresses(idx), d.base_addr + idx * 8)

@@ -1,0 +1,162 @@
+"""Functional and performance-shape tests for the matmul study."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul import (
+    MatMul,
+    MatmulConfig,
+    TILE_SIZES,
+    VARIANTS,
+    build_kernel,
+    _pad_to_multiple,
+)
+from repro.sim.bounds import analyze_bounds
+
+
+@pytest.fixture(scope="module")
+def app():
+    return MatMul()
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_variants_match_numpy(self, app, variant):
+        wl = {"n": 64, "variant": variant, "tile": 16}
+        run = app.run(wl)
+        ref = app.reference(wl)["C"]
+        np.testing.assert_allclose(run.outputs["C"], ref,
+                                   rtol=1e-4, atol=1e-4)
+
+    @pytest.mark.parametrize("tile", TILE_SIZES)
+    def test_tile_sizes_match_numpy(self, app, tile):
+        wl = {"n": 48, "variant": "tiled", "tile": tile}
+        run = app.run(wl)
+        ref = app.reference(wl)["C"]
+        np.testing.assert_allclose(run.outputs["C"], ref,
+                                   rtol=1e-4, atol=1e-4)
+
+    def test_padding_for_awkward_sizes(self, app):
+        # 50 is not a multiple of 12: exercises the pad-and-crop path
+        wl = {"n": 50, "variant": "tiled_unrolled", "tile": 12}
+        run = app.run(wl)
+        ref = app.reference(wl)["C"]
+        assert run.outputs["C"].shape == (50, 50)
+        np.testing.assert_allclose(run.outputs["C"], ref,
+                                   rtol=1e-4, atol=1e-4)
+
+    def test_verify_helper(self, app):
+        app.verify({"n": 32, "variant": "naive", "tile": 16})
+
+    def test_pad_to_multiple(self):
+        m = np.ones((5, 5), np.float32)
+        p = _pad_to_multiple(m, 4)
+        assert p.shape == (8, 8)
+        assert p[:5, :5].sum() == 25 and p.sum() == 25
+        assert _pad_to_multiple(m, 5) is m
+
+
+class TestKernelFactory:
+    def test_register_counts_follow_paper(self):
+        assert build_kernel("naive").regs_per_thread == 10
+        assert build_kernel("tiled").regs_per_thread == 10
+        assert build_kernel("tiled_unrolled").regs_per_thread == 9
+        assert build_kernel("prefetch").regs_per_thread == 11
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError, match="unknown matmul variant"):
+            build_kernel("blocked")
+
+    def test_prefetch_requires_unroll(self):
+        from repro.apps.matmul import tiled_matmul_kernel
+        with pytest.raises(ValueError):
+            tiled_matmul_kernel(16, unrolled=False, prefetch=True)
+
+
+class TestInstructionMix:
+    """The paper's PTX observations, reproduced from traces."""
+
+    def test_naive_has_one_fma_in_eight(self, app):
+        run = app.run({"n": 256, "variant": "naive", "trace_blocks": 1},
+                      functional=False)
+        frac = run.launches[0].trace.fma_fraction
+        assert frac == pytest.approx(1 / 8, rel=0.05)
+
+    def test_unrolled_has_16_of_59(self, app):
+        run = app.run({"n": 256, "variant": "tiled_unrolled",
+                       "trace_blocks": 1}, functional=False)
+        frac = run.launches[0].trace.fma_fraction
+        assert frac == pytest.approx(16 / 59, rel=0.05)
+
+    def test_naive_bandwidth_demand_is_173(self, app):
+        # "would require a bandwidth of 173 GB/s" (Section 4.1)
+        run = app.run({"n": 256, "variant": "naive", "trace_blocks": 1},
+                      functional=False)
+        l = run.launches[0]
+        ba = analyze_bounds(l.trace, l.spec)
+        assert ba.potential_gflops == pytest.approx(43.2, rel=0.05)
+        assert ba.bandwidth_demand_gbs == pytest.approx(172.8, rel=0.05)
+        assert ba.memory_bound
+
+    def test_tiled_cuts_global_loads_16x(self, app):
+        naive = app.run({"n": 256, "variant": "naive", "trace_blocks": 1},
+                        functional=False).merged_trace
+        tiled = app.run({"n": 256, "variant": "tiled", "trace_blocks": 1},
+                        functional=False).merged_trace
+        ratio = naive.global_useful_bytes / tiled.global_useful_bytes
+        assert ratio == pytest.approx(16, rel=0.1)
+
+    def test_tiled_16_loads_coalesce(self, app):
+        run = app.run({"n": 256, "variant": "tiled", "trace_blocks": 1},
+                      functional=False)
+        assert run.merged_trace.coalesced_fraction > 0.95
+
+    def test_naive_a_stream_does_not_coalesce(self, app):
+        run = app.run({"n": 256, "variant": "naive", "trace_blocks": 1},
+                      functional=False)
+        per = run.merged_trace.per_array
+        assert per["A"].transactions_per_access == pytest.approx(16.0)
+        assert per["B"].transactions_per_access == pytest.approx(1.0)
+
+
+class TestPerformanceShape:
+    """Section 4's GFLOPS ordering at a reduced problem size (1024)."""
+
+    @pytest.fixture(scope="class")
+    def gflops(self, app):
+        out = {}
+        for variant in VARIANTS:
+            run = app.run({"n": 1024, "variant": variant, "tile": 16,
+                           "trace_blocks": 2}, functional=False)
+            out[variant] = run.launches[0].estimate()
+        return out
+
+    def test_tiling_wins_by_about_4x(self, gflops):
+        ratio = gflops["tiled"].gflops / gflops["naive"].gflops
+        assert 3.0 < ratio < 6.0     # paper: 4.5X
+
+    def test_unrolling_roughly_doubles_tiled(self, gflops):
+        ratio = gflops["tiled_unrolled"].gflops / gflops["tiled"].gflops
+        assert 1.6 < ratio < 2.4     # paper: 91.14 / 46.49 = 1.96
+
+    def test_prefetch_is_slightly_slower_than_unrolled(self, gflops):
+        # Section 4.4: 87.10 vs 91.14 — the optimization backfires
+        assert gflops["prefetch"].gflops < gflops["tiled_unrolled"].gflops
+        ratio = gflops["prefetch"].gflops / gflops["tiled_unrolled"].gflops
+        assert ratio > 0.90          # ... but only by a few percent
+
+    def test_naive_is_memory_bound(self, gflops):
+        assert gflops["naive"].bound == "memory bandwidth"
+
+    def test_optimized_versions_are_issue_bound(self, gflops):
+        assert gflops["tiled_unrolled"].bound == "instruction issue"
+
+    def test_prefetch_costs_a_block_of_occupancy(self, gflops):
+        assert gflops["tiled_unrolled"].occupancy.blocks_per_sm == 3
+        assert gflops["prefetch"].occupancy.blocks_per_sm == 2
+
+    def test_figure4_configs_cover_all_bars(self, app):
+        labels = [c.label for c in app.figure4_configs()]
+        assert labels[0] == "not tiled"
+        assert len(labels) == 1 + 2 * len(TILE_SIZES)
+        assert "16x16 unrolled" in labels

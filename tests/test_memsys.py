@@ -1,0 +1,261 @@
+"""Tests for the G80 coalescing, bank-conflict and cache models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import DEFAULT_DEVICE
+from repro.sim.memsys import (
+    DirectMappedCache,
+    bank_conflict_degree,
+    block_bank_conflicts,
+    coalesce_block_access,
+    coalesce_half_warp,
+)
+
+HW = DEFAULT_DEVICE.half_warp
+ALL = np.ones(HW, dtype=bool)
+
+
+def addresses(base, stride, itemsize=4, n=HW):
+    return base + np.arange(n, dtype=np.int64) * stride * itemsize
+
+
+class TestCoalesceHalfWarp:
+    def test_contiguous_aligned_is_one_transaction(self):
+        res = coalesce_half_warp(addresses(0, 1), ALL, 4)
+        assert res.coalesced
+        assert res.transactions == 1
+        assert res.bus_bytes == 64
+        assert res.useful_bytes == 64
+        assert res.efficiency == 1.0
+
+    def test_contiguous_aligned_any_segment(self):
+        res = coalesce_half_warp(addresses(64 * 123, 1), ALL, 4)
+        assert res.coalesced
+
+    def test_misaligned_contiguous_serializes(self):
+        # CUDA 1.x: thread k must hit word k of an *aligned* segment
+        res = coalesce_half_warp(addresses(4, 1), ALL, 4)
+        assert not res.coalesced
+        assert res.transactions == HW
+
+    def test_strided_serializes(self):
+        res = coalesce_half_warp(addresses(0, 2), ALL, 4)
+        assert not res.coalesced
+        assert res.transactions == HW
+        assert res.useful_bytes == 64
+        assert res.bus_bytes > res.useful_bytes
+
+    def test_permuted_serializes(self):
+        addr = addresses(0, 1)[::-1].copy()
+        res = coalesce_half_warp(addr, ALL, 4)
+        assert not res.coalesced
+
+    def test_broadcast_same_address_merges_bus_traffic(self):
+        # the paper's footnote 4: the memory system may combine
+        # simultaneous loads of the same value into one request
+        addr = np.zeros(HW, dtype=np.int64)
+        res = coalesce_half_warp(addr, ALL, 4)
+        assert not res.coalesced
+        assert res.transactions == HW            # serialized issue
+        assert res.bus_bytes == 32               # but one 32 B segment
+        assert res.useful_bytes == 64
+
+    def test_partial_warp_in_order_coalesces(self):
+        active = ALL.copy()
+        active[5] = False
+        res = coalesce_half_warp(addresses(0, 1), active, 4)
+        assert res.coalesced
+        assert res.useful_bytes == (HW - 1) * 4
+
+    def test_inactive_half_warp_is_free(self):
+        res = coalesce_half_warp(addresses(0, 1), np.zeros(HW, bool), 4)
+        assert res.transactions == 0
+        assert res.bus_bytes == 0
+
+    def test_eight_byte_items(self):
+        res = coalesce_half_warp(addresses(0, 1, itemsize=8), ALL, 8)
+        assert res.coalesced
+        assert res.bus_bytes == 128
+
+    def test_wrong_lane_count_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce_half_warp(np.zeros(8, np.int64), np.ones(8, bool), 4)
+
+
+class TestCoalesceBlockAccess:
+    def test_block_of_contiguous_half_warps(self):
+        n = 256
+        addr = np.arange(n, dtype=np.int64) * 4
+        wa, txn, bus, useful, coal = coalesce_block_access(
+            addr, np.ones(n, bool), 4)
+        assert wa == n // HW
+        assert txn == n // HW
+        assert coal == n // HW
+        assert bus == useful == n * 4
+
+    def test_row_broadcast_pattern_matches_naive_matmul(self):
+        # 16x16 block reading A[row][k]: every half-warp hits one address
+        n = 256
+        row = np.repeat(np.arange(16), 16)
+        addr = (row * 4096 * 4).astype(np.int64)
+        wa, txn, bus, useful, coal = coalesce_block_access(
+            addr, np.ones(n, bool), 4)
+        assert wa == 16
+        assert coal == 0
+        assert txn == 16 * HW        # fully serialized
+        assert bus == 16 * 32        # one 32 B segment per half-warp
+
+    def test_partially_active_tail_block(self):
+        n = 40  # 2.5 half-warps
+        addr = np.arange(n, dtype=np.int64) * 4
+        active = np.ones(n, bool)
+        wa, txn, bus, useful, coal = coalesce_block_access(addr, active, 4)
+        assert wa == 3
+        assert useful == n * 4
+
+    def test_fast_and_slow_paths_agree(self):
+        rng = np.random.default_rng(7)
+        n = 128
+        addr = rng.integers(0, 4096, n).astype(np.int64) * 4
+        active = rng.random(n) > 0.3
+        wa, txn, bus, useful, coal = coalesce_block_access(addr, active, 4)
+        # recompute per half-warp with the scalar routine
+        wa2 = txn2 = bus2 = useful2 = coal2 = 0
+        for s in range(0, n, HW):
+            a = active[s:s + HW]
+            if not a.any():
+                continue
+            r = coalesce_half_warp(addr[s:s + HW], a, 4)
+            wa2 += 1
+            txn2 += r.transactions
+            bus2 += r.bus_bytes
+            useful2 += r.useful_bytes
+            coal2 += int(r.coalesced)
+        assert (wa, txn, bus, useful, coal) == (wa2, txn2, bus2, useful2, coal2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    base_seg=st.integers(0, 1000),
+    data=st.data(),
+)
+def test_property_bus_bytes_at_least_useful(base_seg, data):
+    """Bus traffic can never be less than the bytes actually requested."""
+    perm = data.draw(st.permutations(list(range(HW))))
+    stride = data.draw(st.integers(1, 8))
+    addr = (base_seg * 64 + np.array(perm, dtype=np.int64) * stride * 4)
+    res = coalesce_half_warp(addr, ALL, 4)
+    assert res.bus_bytes >= res.useful_bytes or res.transactions == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(offsets=st.lists(st.integers(0, 10 ** 6), min_size=HW, max_size=HW))
+def test_property_uncoalesced_transactions_equal_active_threads(offsets):
+    addr = np.array(offsets, dtype=np.int64) * 4
+    res = coalesce_half_warp(addr, ALL, 4)
+    if not res.coalesced:
+        assert res.transactions == HW
+    else:
+        assert res.transactions == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(seg=st.integers(0, 10 ** 5))
+def test_property_in_order_aligned_always_coalesces(seg):
+    addr = seg * 64 + np.arange(HW, dtype=np.int64) * 4
+    res = coalesce_half_warp(addr, ALL, 4)
+    assert res.coalesced and res.transactions == 1
+
+
+class TestBankConflicts:
+    def test_stride_one_conflict_free(self):
+        words = np.arange(HW, dtype=np.int64)
+        assert bank_conflict_degree(words, ALL) == 1
+
+    def test_stride_two_degree_two(self):
+        words = np.arange(HW, dtype=np.int64) * 2
+        assert bank_conflict_degree(words, ALL) == 2
+
+    def test_stride_sixteen_fully_serialized(self):
+        words = np.arange(HW, dtype=np.int64) * 16
+        assert bank_conflict_degree(words, ALL) == 16
+
+    def test_broadcast_is_free(self):
+        words = np.full(HW, 7, dtype=np.int64)
+        assert bank_conflict_degree(words, ALL) == 1
+
+    def test_odd_stride_conflict_free(self):
+        # odd strides permute the 16 banks -> conflict-free
+        words = np.arange(HW, dtype=np.int64) * 3
+        assert bank_conflict_degree(words, ALL) == 1
+
+    def test_inactive_access(self):
+        assert bank_conflict_degree(np.zeros(HW, np.int64),
+                                    np.zeros(HW, bool)) == 0
+
+    def test_block_level_totals(self):
+        words = np.concatenate([
+            np.arange(HW, dtype=np.int64),          # degree 1
+            np.arange(HW, dtype=np.int64) * 2,      # degree 2
+        ])
+        accesses, total = block_bank_conflicts(words, np.ones(2 * HW, bool))
+        assert accesses == 2
+        assert total == 3
+
+    def test_block_fast_slow_agree(self):
+        rng = np.random.default_rng(3)
+        words = rng.integers(0, 256, 4 * HW).astype(np.int64)
+        active = np.ones(4 * HW, bool)
+        accesses, total = block_bank_conflicts(words, active)
+        expect = sum(bank_conflict_degree(words[s:s + HW], active[s:s + HW])
+                     for s in range(0, 4 * HW, HW))
+        assert accesses == 4 and total == expect
+
+
+@settings(max_examples=60, deadline=None)
+@given(words=st.lists(st.integers(0, 4095), min_size=HW, max_size=HW))
+def test_property_conflict_degree_bounds(words):
+    degree = bank_conflict_degree(np.array(words, dtype=np.int64), ALL)
+    assert 1 <= degree <= HW
+
+
+class TestDirectMappedCache:
+    def test_first_access_misses_then_hits(self):
+        c = DirectMappedCache(1024)
+        addr = np.arange(8, dtype=np.int64) * 4
+        h, m = c.access(addr, np.ones(8, bool))
+        assert h == 0 and m == 1          # one 32 B line covers 8 words
+        h, m = c.access(addr, np.ones(8, bool))
+        assert h == 1 and m == 0
+
+    def test_capacity_eviction(self):
+        c = DirectMappedCache(64, line_bytes=32)  # 2 lines
+        a = np.array([0], dtype=np.int64)
+        b = np.array([64], dtype=np.int64)        # maps to same slot
+        on = np.ones(1, bool)
+        c.access(a, on)
+        c.access(b, on)
+        h, m = c.access(a, on)
+        assert m == 1                              # evicted
+
+    def test_duplicate_lines_counted_once(self):
+        c = DirectMappedCache(1024)
+        addr = np.zeros(16, dtype=np.int64)
+        h, m = c.access(addr, np.ones(16, bool))
+        assert h + m == 1
+
+    def test_hit_rate_and_reset(self):
+        c = DirectMappedCache(1024)
+        addr = np.array([0], dtype=np.int64)
+        on = np.ones(1, bool)
+        c.access(addr, on)
+        c.access(addr, on)
+        assert c.hit_rate == pytest.approx(0.5)
+        c.reset()
+        assert c.hits == 0 and c.misses == 0 and c.hit_rate == 1.0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(100, line_bytes=32)

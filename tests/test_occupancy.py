@@ -1,0 +1,118 @@
+"""Tests for the occupancy calculator (the paper's scheduling limits)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import DEFAULT_DEVICE, DeviceSpec
+from repro.sim.occupancy import compute_occupancy
+
+
+class TestPaperAnecdotes:
+    def test_matmul_256_threads_10_regs_gives_3_blocks(self):
+        # Section 4.1: "we group them as three thread blocks of 256
+        # threads each" with 10 registers per thread
+        occ = compute_occupancy(256, regs_per_thread=10, smem_per_block=2048)
+        assert occ.blocks_per_sm == 3
+        assert occ.active_threads_per_sm == 768
+        assert occ.occupancy == 1.0
+        assert occ.limiter == "threads"
+
+    def test_eleven_registers_drops_to_two_blocks(self):
+        # Section 4.2: 3 * 256 * 11 = 8448 > 8192 registers
+        occ = compute_occupancy(256, regs_per_thread=11, smem_per_block=2048)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "registers"
+        assert occ.active_threads_per_sm == 512
+
+    def test_4x4_tiles_hit_block_limit(self):
+        # Section 4.2: 4x4 tiles = 16 threads, 8-block limit -> 128 threads
+        occ = compute_occupancy(16, regs_per_thread=10, smem_per_block=128)
+        assert occ.blocks_per_sm == 8
+        assert occ.limiter == "blocks"
+        assert occ.active_threads_per_sm == 128
+        assert occ.occupancy == pytest.approx(128 / 768)
+
+    def test_8x8_tiles_cannot_reach_12_blocks(self):
+        # Section 4.2: 8x8 tiles would need 12 blocks to fill the SM,
+        # "50% more than the supported limit"
+        occ = compute_occupancy(64, regs_per_thread=10, smem_per_block=512)
+        assert occ.blocks_per_sm == 8
+        assert occ.active_threads_per_sm == 512  # not 768
+
+    def test_12x12_tiles_non_integral_warps(self):
+        occ = compute_occupancy(144, regs_per_thread=10, smem_per_block=1152)
+        assert occ.blocks_per_sm == 5
+        assert occ.warps_per_block == 5          # 144 threads -> 4.5 -> 5
+
+
+class TestLimits:
+    def test_shared_memory_limit(self):
+        occ = compute_occupancy(128, regs_per_thread=8,
+                                smem_per_block=8 * 1024)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "shared"
+
+    def test_oversized_block_cannot_launch(self):
+        occ = compute_occupancy(1024, regs_per_thread=8)
+        assert occ.blocks_per_sm == 0
+        assert occ.limiter == "launch"
+
+    def test_register_hog_cannot_launch(self):
+        occ = compute_occupancy(512, regs_per_thread=20)
+        assert occ.blocks_per_sm == 0
+        assert occ.limiter == "launch"
+
+    def test_zero_smem_never_limits(self):
+        occ = compute_occupancy(256, regs_per_thread=10, smem_per_block=0)
+        assert occ.blocks_per_sm == 3
+
+    def test_max_simultaneous_threads_device_wide(self):
+        occ = compute_occupancy(256, regs_per_thread=10)
+        assert occ.max_simultaneous_threads == 768 * 16
+
+    def test_rejects_nonpositive_threads(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(0, 10)
+
+    def test_describe_keys(self):
+        d = compute_occupancy(256, 10).describe()
+        assert d["blocks/SM"] == 3
+        assert d["limited by"] == "threads"
+
+    def test_custom_spec(self):
+        big = DeviceSpec(registers_per_sm=16384)
+        occ = compute_occupancy(256, regs_per_thread=11, smem_per_block=0,
+                                spec=big)
+        assert occ.blocks_per_sm == 3  # registers no longer bind
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    threads=st.integers(1, 512),
+    regs=st.integers(1, 128),
+    smem=st.integers(0, 16 * 1024),
+)
+def test_property_occupancy_respects_all_limits(threads, regs, smem):
+    occ = compute_occupancy(threads, regs, smem)
+    b = occ.blocks_per_sm
+    spec = DEFAULT_DEVICE
+    assert 0 <= b <= spec.max_blocks_per_sm
+    if b:
+        assert b * threads <= spec.max_threads_per_sm
+        assert b * threads * regs <= spec.registers_per_sm
+        if smem:
+            assert b * smem <= spec.shared_mem_per_sm
+        # maximality: one more block must violate some limit
+        b1 = b + 1
+        assert (b1 > spec.max_blocks_per_sm
+                or b1 * threads > spec.max_threads_per_sm
+                or b1 * threads * regs > spec.registers_per_sm
+                or (smem and b1 * smem > spec.shared_mem_per_sm))
+
+
+@settings(max_examples=50, deadline=None)
+@given(threads=st.integers(1, 512), regs=st.integers(1, 32))
+def test_property_more_registers_never_increase_occupancy(threads, regs):
+    a = compute_occupancy(threads, regs)
+    b = compute_occupancy(threads, regs + 1)
+    assert b.blocks_per_sm <= a.blocks_per_sm

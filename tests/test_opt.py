@@ -1,0 +1,161 @@
+"""Tests for the optimization-pass descriptors, layout helpers and the
+autotuner (the Section 6 future-work tool)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.opt import (
+    OPTIMIZATION_PASSES,
+    VariantDescriptor,
+    aos_index,
+    estimate_unroll_savings,
+    pad_stride,
+    soa_index,
+)
+from repro.sim.autotuner import MatmulAutotuner, Point
+
+
+class TestPasses:
+    def base(self):
+        return VariantDescriptor("matmul_tiled", base_regs=10,
+                                 threads_per_block=256,
+                                 base_smem_bytes=2048)
+
+    def test_catalogue_names(self):
+        assert {"tiling", "unrolling", "prefetching", "register_tiling"} \
+            <= set(OPTIMIZATION_PASSES)
+
+    def test_unrolling_frees_a_register(self):
+        v = self.base().apply_named("unrolling")
+        assert v.regs_per_thread == 9
+        assert v.name == "matmul_tiled+unrolling"
+
+    def test_prefetch_costs_two_registers_and_a_block(self):
+        """The Section 4.4 cliff, predicted from the descriptors."""
+        base = self.base().apply_named("unrolling")
+        pre = base.apply_named("prefetching")
+        assert pre.regs_per_thread == 11
+        assert base.occupancy().blocks_per_sm == 3
+        assert pre.occupancy().blocks_per_sm == 2
+        assert pre.occupancy_cost() == pytest.approx(1 / 3)
+
+    def test_pass_chaining_order_independent_for_resources(self):
+        a = self.base().apply_named("unrolling").apply_named("prefetching")
+        b = self.base().apply_named("prefetching").apply_named("unrolling")
+        assert a.regs_per_thread == b.regs_per_thread
+        assert a.smem_bytes == b.smem_bytes
+
+    def test_occupancy_cost_zero_when_no_cliff(self):
+        v = self.base().apply_named("unrolling")   # 9 regs: still 3 blocks
+        assert v.occupancy_cost() == 0.0
+
+    def test_regs_never_below_one(self):
+        v = VariantDescriptor("tiny", base_regs=1, threads_per_block=32)
+        v = v.apply_named("unrolling")
+        assert v.regs_per_thread == 1
+
+
+class TestUnrollArithmetic:
+    def test_full_unroll_of_the_paper_loop(self):
+        # tiled matmul: 8 insts/iter of which ~4 are bookkeeping+addr
+        saving = estimate_unroll_savings(8.0, 16, bookkeeping_per_iter=4.0)
+        assert saving == pytest.approx(0.5)
+
+    def test_partial_factors_monotone(self):
+        savings = [estimate_unroll_savings(8.0, 16, 4.0, factor=f)
+                   for f in (2, 4, 8)]
+        assert savings == sorted(savings)
+        assert savings[-1] < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_unroll_savings(0.0, 16)
+        with pytest.raises(ValueError):
+            estimate_unroll_savings(3.0, 16, bookkeeping_per_iter=5.0)
+
+
+class TestLayoutHelpers:
+    def test_aos_vs_soa_cover_same_cells(self):
+        el = np.arange(8)
+        a = aos_index(el, 2, ncomponents=9)
+        s = soa_index(el, 2, nelements=8)
+        assert a.tolist() == (el * 9 + 2).tolist()
+        assert s.tolist() == (2 * 8 + el).tolist()
+
+    def test_soa_is_unit_stride(self):
+        el = np.arange(16)
+        idx = soa_index(el, 5, nelements=1024)
+        assert (np.diff(idx) == 1).all()
+
+    def test_aos_is_strided(self):
+        el = np.arange(16)
+        idx = aos_index(el, 5, ncomponents=9)
+        assert (np.diff(idx) == 9).all()
+
+    def test_pad_stride_classic_plus_one(self):
+        assert pad_stride(16) == 17
+        assert pad_stride(32) == 33
+
+    def test_pad_stride_odd_widths_unchanged(self):
+        assert pad_stride(33) == 33
+        assert pad_stride(5) == 5
+
+    def test_pad_stride_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            pad_stride(0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(width=st.integers(1, 512))
+    def test_pad_stride_property(self, width):
+        stride = pad_stride(width)
+        assert stride >= width
+        assert np.gcd(stride, 16) == 1
+        # column accesses at the padded stride hit 16 distinct banks
+        banks = (np.arange(16) * stride) % 16
+        assert len(set(banks.tolist())) == 16
+
+
+class TestAutotuner:
+    @pytest.fixture(scope="class")
+    def tuner(self):
+        return MatmulAutotuner(n=512, trace_blocks=1)
+
+    def test_space_is_the_figure4_space(self, tuner):
+        pts = tuner.space()
+        assert len(pts) == 1 + 4 * 3
+        assert all(p.valid() for p in pts)
+
+    def test_invalid_points_rejected(self):
+        assert not Point(0, True, False).valid()     # untiled+unrolled
+        assert not Point(16, False, True).valid()    # prefetch w/o unroll
+
+    def test_global_optimum_is_16x16_unrolled(self, tuner):
+        res = tuner.exhaustive()
+        assert res.best == Point(16, True, False)
+        assert res.best_gflops > 80
+
+    def test_prefetch_is_not_the_optimum(self, tuner):
+        res = tuner.exhaustive()
+        pre = Point(16, True, True)
+        assert res.evaluations[pre] < res.best_gflops
+
+    def test_naive_is_a_local_maximum_trap(self, tuner):
+        """Section 6: greedy strategies get stuck in local maxima."""
+        end, gflops, path = tuner.hill_climb(Point(0, False, False))
+        assert end == Point(0, False, False)
+        res = tuner.exhaustive()
+        assert gflops < res.best_gflops / 2
+
+    def test_hill_climb_from_8x8_reaches_global(self, tuner):
+        end, gflops, path = tuner.hill_climb(Point(8, False, False))
+        res = tuner.exhaustive()
+        assert end == res.best
+        assert len(path) >= 2
+
+    def test_evaluations_memoized(self, tuner):
+        p = Point(16, True, False)
+        a = tuner.evaluate(p)
+        b = tuner.evaluate(p)
+        assert a == b
+        assert p in tuner._cache

@@ -1,0 +1,230 @@
+"""Tests for the analytical timing model, the bound analysis and the
+CPU baseline model."""
+
+import numpy as np
+import pytest
+
+from repro.arch import DEFAULT_DEVICE
+from repro.sim.bounds import analyze_bounds
+from repro.sim.cpumodel import (
+    CpuCostParams,
+    CpuSpec,
+    estimate_cpu_time,
+)
+from repro.sim.timing import LaunchConfigError, estimate_time
+from repro.trace import InstrClass, KernelTrace
+
+
+def synthetic_trace(
+    fma=0.0, ialu=0.0, ld_global=0.0, sfu=0.0, syncs=0.0,
+    threads=768 * 16, bus_bytes=0.0, useful_bytes=None, uncoal=0.0,
+):
+    """Build a trace with the given *warp*-instruction counts."""
+    t = KernelTrace()
+    warp = 32
+    for cls, n in ((InstrClass.FMA, fma), (InstrClass.IALU, ialu),
+                   (InstrClass.LD_GLOBAL, ld_global), (InstrClass.SFU, sfu),
+                   (InstrClass.SYNC, syncs)):
+        if n:
+            t.record_instr(cls, n, n * warp)
+    if bus_bytes:
+        t.record_global_access(
+            "x", warp_accesses=ld_global * 2, transactions=bus_bytes / 64,
+            bus_bytes=bus_bytes,
+            useful_bytes=useful_bytes if useful_bytes is not None else bus_bytes,
+            coalesced_accesses=(bus_bytes / 64) - uncoal)
+        t.uncoalesced_transactions = uncoal
+    t.threads_traced = threads
+    return t
+
+
+class TestIssueBound:
+    def test_pure_fma_kernel_hits_peak(self):
+        # all-FMA instruction stream at full occupancy -> 345.6 GFLOPS
+        t = synthetic_trace(fma=1e8)
+        est = estimate_time(t, num_blocks=16 * 3, threads_per_block=256,
+                            regs_per_thread=10)
+        assert est.gflops == pytest.approx(345.6, rel=0.01)
+        assert est.bound == "instruction issue"
+
+    def test_gflops_scale_with_fma_fraction(self):
+        t = synthetic_trace(fma=1e8, ialu=1e8)
+        est = estimate_time(t, 48, 256, 10)
+        assert est.gflops == pytest.approx(172.8, rel=0.01)
+
+    def test_sync_overhead_slows_kernel(self):
+        base = estimate_time(synthetic_trace(fma=1e6), 48, 256, 10)
+        with_sync = estimate_time(synthetic_trace(fma=1e6, syncs=2e5),
+                                  48, 256, 10)
+        assert with_sync.seconds > base.seconds
+
+    def test_uncoalesced_replay_slows_kernel(self):
+        t0 = synthetic_trace(fma=1e6, ld_global=1e5, bus_bytes=64e5)
+        t1 = synthetic_trace(fma=1e6, ld_global=1e5, bus_bytes=64e5,
+                             uncoal=16e5)
+        a = estimate_time(t0, 48, 256, 10)
+        b = estimate_time(t1, 48, 256, 10)
+        assert b.seconds > a.seconds
+        assert b.bound == "memory bandwidth"   # replay-dominated rename
+
+
+class TestSfuPipe:
+    def test_sfu_heavy_kernel_is_sfu_bound(self):
+        t = synthetic_trace(fma=1e5, sfu=2e5)
+        est = estimate_time(t, 48, 256, 10)
+        assert est.bound == "SFU throughput"
+        # SFU pipe: 16 cycles/warp-inst vs 4 issue cycles
+        assert est.sfu_seconds > est.issue_seconds
+
+    def test_sfu_light_kernel_is_not(self):
+        t = synthetic_trace(fma=1e6, sfu=1e5)
+        est = estimate_time(t, 48, 256, 10)
+        assert est.bound == "instruction issue"
+
+
+class TestBandwidthBound:
+    def test_streaming_kernel_bound_by_dram(self):
+        # few instructions, lots of bytes
+        t = synthetic_trace(fma=1e4, ld_global=3e4, bus_bytes=1e10)
+        est = estimate_time(t, 48, 256, 10)
+        assert est.bound == "memory bandwidth"
+        expected = 1e10 / (86.4e9 * DEFAULT_DEVICE.timing.dram_efficiency)
+        assert est.bandwidth_seconds == pytest.approx(expected)
+
+    def test_efficiency_knob(self):
+        t = synthetic_trace(fma=1e4, ld_global=3e4, bus_bytes=1e10)
+        slow = estimate_time(t, 48, 256, 10,
+                             spec=DEFAULT_DEVICE.with_timing(
+                                 dram_efficiency=0.4))
+        fast = estimate_time(t, 48, 256, 10)
+        assert slow.seconds > fast.seconds
+
+
+class TestLatencyBound:
+    def _mem_heavy(self, threads):
+        # one global load every 2 instructions, few warps
+        return synthetic_trace(fma=1e5, ld_global=1e5, bus_bytes=64e5,
+                               threads=threads)
+
+    def test_low_occupancy_exposes_latency(self):
+        t = self._mem_heavy(threads=128 * 16)
+        low = estimate_time(t, 16, 128, 60)     # 1 block/SM (regs)
+        high = estimate_time(self._mem_heavy(threads=768 * 16 * 1),
+                             48, 256, 10)
+        assert low.latency_seconds > low.issue_seconds
+        # relative latency exposure shrinks with occupancy
+        assert (low.latency_seconds / low.issue_seconds
+                > high.latency_seconds / high.issue_seconds)
+
+    def test_barrier_phased_kernels_only_count_other_blocks(self):
+        t = synthetic_trace(fma=1e5, ld_global=1e5, bus_bytes=64e5,
+                            syncs=1e4)
+        one_block = estimate_time(t, 16, 256, 30)   # 1 block/SM
+        three_blocks = estimate_time(t, 48, 256, 10)
+        assert one_block.latency_seconds / one_block.issue_seconds >= \
+            three_blocks.latency_seconds / three_blocks.issue_seconds
+
+
+class TestConfigEffects:
+    def test_unschedulable_kernel_raises(self):
+        t = synthetic_trace(fma=1e4)
+        with pytest.raises(LaunchConfigError):
+            estimate_time(t, 16, 512, 20)   # 10240 regs/block > 8192
+
+    def test_small_grid_uses_fewer_sms(self):
+        t = synthetic_trace(fma=1e8)
+        one = estimate_time(t, 1, 256, 10)
+        many = estimate_time(t, 48, 256, 10)
+        assert one.seconds > many.seconds
+        # one block runs on one SM: 16x fewer SMs and 1/3 the per-SM
+        # concurrency bookkeeping -> 16x the issue time
+        assert one.issue_seconds == pytest.approx(
+            many.issue_seconds * 16, rel=0.01)
+
+    def test_wave_quantization(self):
+        t = synthetic_trace(fma=1e6)
+        # 49 blocks of 256 threads = 48 concurrent + 1 straggler
+        est49 = estimate_time(t, 49, 256, 10)
+        est48 = estimate_time(t, 48, 256, 10)
+        assert est49.seconds > est48.seconds
+
+    def test_launch_overhead_floor(self):
+        t = synthetic_trace(fma=1.0)
+        est = estimate_time(t, 1, 32, 10)
+        assert est.seconds >= DEFAULT_DEVICE.timing.kernel_launch_overhead_s
+
+    def test_components_accessor(self):
+        est = estimate_time(synthetic_trace(fma=1e5), 48, 256, 10)
+        comps = est.components()
+        assert set(comps) == {"instruction issue", "SFU throughput",
+                              "memory bandwidth", "memory latency"}
+        assert est.seconds == pytest.approx(
+            max(comps.values()) + est.launch_overhead_seconds)
+
+
+class TestBoundAnalysis:
+    def test_empty_trace(self):
+        ba = analyze_bounds(KernelTrace())
+        assert ba.potential_gflops == 0.0
+        assert not ba.memory_bound
+
+    def test_pure_fma_potential_is_peak(self):
+        t = synthetic_trace(fma=1e5)
+        ba = analyze_bounds(t)
+        assert ba.potential_gflops == pytest.approx(345.6)
+
+    def test_sfu_credit_capped_at_388(self):
+        t = synthetic_trace(fma=8e5, sfu=8e5)
+        ba = analyze_bounds(t)
+        assert ba.potential_gflops <= 388.8 + 1e-9
+
+    def test_bandwidth_limited_gflops(self):
+        t = synthetic_trace(fma=1e5, ld_global=1e5, bus_bytes=1e9,
+                            useful_bytes=1e9)
+        ba = analyze_bounds(t)
+        if ba.memory_bound:
+            assert ba.bandwidth_limited_gflops < ba.potential_gflops
+
+
+class TestCpuModel:
+    def test_scalar_instruction_cost(self):
+        t = synthetic_trace(fma=1e6, threads=32e6)
+        est = estimate_cpu_time(t, CpuCostParams(miss_fraction=0.0))
+        # 32e6 scalar FMAs at 1/cycle on 2.2 GHz
+        assert est.seconds == pytest.approx(32e6 / 2.2e9, rel=1e-6)
+
+    def test_simd_speeds_up_float_work(self):
+        t = synthetic_trace(fma=1e6, threads=32e6)
+        scalar = estimate_cpu_time(t, CpuCostParams(miss_fraction=0))
+        simd = estimate_cpu_time(t, CpuCostParams(simd=True, miss_fraction=0))
+        assert scalar.seconds / simd.seconds == pytest.approx(4.0)
+
+    def test_trig_is_expensive_on_cpu(self):
+        t = synthetic_trace(sfu=1e6, threads=32e6)
+        est = estimate_cpu_time(t, CpuCostParams(miss_fraction=0))
+        assert est.seconds == pytest.approx(32e6 * 30 / 2.2e9, rel=1e-6)
+
+    def test_libm_trig_even_more(self):
+        t = synthetic_trace(sfu=1e6, threads=32e6)
+        fast = estimate_cpu_time(t, CpuCostParams(miss_fraction=0))
+        slow = estimate_cpu_time(t, CpuCostParams(miss_fraction=0,
+                                                  fast_math=False))
+        assert slow.seconds == pytest.approx(4 * fast.seconds)
+
+    def test_streaming_bound(self):
+        t = synthetic_trace(fma=1.0, ld_global=1.0, bus_bytes=64,
+                            useful_bytes=1e10)
+        est = estimate_cpu_time(t, CpuCostParams(miss_fraction=1.0))
+        assert est.seconds == pytest.approx(1e10 / 3.0e9)
+        assert est.mem_seconds > est.op_seconds
+
+    def test_op_scale(self):
+        t = synthetic_trace(ialu=1e6, threads=32e6)
+        a = estimate_cpu_time(t, CpuCostParams(miss_fraction=0, op_scale=1.0))
+        b = estimate_cpu_time(t, CpuCostParams(miss_fraction=0, op_scale=0.5))
+        assert a.seconds == pytest.approx(2 * b.seconds)
+
+    def test_gflops_property(self):
+        t = synthetic_trace(fma=1e6, threads=32e6)
+        est = estimate_cpu_time(t, CpuCostParams(miss_fraction=0))
+        assert est.gflops == pytest.approx(2 * 2.2, rel=1e-6)

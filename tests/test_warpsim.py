@@ -1,0 +1,128 @@
+"""Tests for the event-driven warp simulator and its agreement with
+the analytical model (the DESIGN.md cross-check)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import DEFAULT_DEVICE
+from repro.cuda import Device, kernel, launch
+from repro.sim.warpsim import StreamEvent, WarpSimResult, simulate_launch, simulate_sm
+from repro.trace.instr import InstrClass
+
+
+def compute_stream(n_insts, cls=InstrClass.FMA):
+    return [StreamEvent(cls) for _ in range(n_insts)]
+
+
+class TestSimulateSm:
+    def test_empty_stream(self):
+        r = simulate_sm([], 8, 3)
+        assert r.cycles == 0.0 and r.instructions_issued == 0
+
+    def test_single_warp_compute(self):
+        r = simulate_sm(compute_stream(100), warps_per_block=1,
+                        blocks_per_sm=1)
+        assert r.cycles == pytest.approx(400.0)   # 100 insts x 4 cycles
+        assert r.issue_utilization == pytest.approx(1.0)
+
+    def test_issue_unit_serializes_warps(self):
+        # 24 warps of pure compute: issue-bound, 24x one warp's work
+        one = simulate_sm(compute_stream(50), 1, 1)
+        many = simulate_sm(compute_stream(50), 8, 3)
+        assert many.cycles == pytest.approx(24 * one.cycles, rel=0.01)
+
+    def test_sfu_instructions_cost_more(self):
+        sp = simulate_sm(compute_stream(50, InstrClass.FMA), 1, 1)
+        sfu = simulate_sm(compute_stream(50, InstrClass.SFU), 1, 1)
+        assert sfu.cycles == pytest.approx(4 * sp.cycles)   # 16 vs 4
+
+    def test_memory_latency_exposed_with_one_warp(self):
+        stream = [StreamEvent(InstrClass.LD_GLOBAL, 1, 2.0, 128.0)]
+        r = simulate_sm(stream, 1, 1)
+        assert r.cycles >= DEFAULT_DEVICE.timing.global_latency_cycles
+
+    def test_many_warps_hide_latency(self):
+        # each warp: 1 load then 50 compute; with 24 warps the latency
+        # should overlap with other warps' issue
+        stream = ([StreamEvent(InstrClass.LD_GLOBAL, 1, 2.0, 128.0)]
+                  + compute_stream(50))
+        alone = simulate_sm(stream, 1, 1)
+        crowd = simulate_sm(stream, 8, 3)
+        # 24x the work in much less than 24x one warp's total walltime
+        assert crowd.cycles < 24 * alone.cycles * 0.6
+
+    def test_barrier_joins_block(self):
+        stream = (compute_stream(10) + [StreamEvent(InstrClass.SYNC)]
+                  + compute_stream(10))
+        r = simulate_sm(stream, warps_per_block=4, blocks_per_sm=1)
+        # all warps issue both phases; barrier does not deadlock
+        assert r.instructions_issued == 4 * 20
+        assert r.cycles >= 20 * 4 * 4
+
+    def test_two_blocks_barriers_are_independent(self):
+        stream = (compute_stream(5) + [StreamEvent(InstrClass.SYNC)]
+                  + compute_stream(5))
+        r = simulate_sm(stream, warps_per_block=2, blocks_per_sm=2)
+        assert r.instructions_issued == 4 * 10
+
+
+@kernel("stream_probe", regs_per_thread=8)
+def stream_probe(ctx, x, n):
+    i = ctx.global_tid()
+    ctx.address_ops(2)
+    v = ctx.ld_global(x, i)
+    for _ in range(8):
+        v = ctx.fma(v, 1.0001, 0.5)
+    ctx.st_global(x, i, v)
+
+
+class TestSimulateLaunch:
+    def _launch(self, record=True):
+        dev = Device()
+        n = 256 * 48
+        x = dev.to_device(np.ones(n, np.float32), "x")
+        return launch(stream_probe, (48,), (256,), (x, n), device=dev,
+                      functional=False, trace_blocks=1,
+                      record_stream=record)
+
+    def test_stream_recorded(self):
+        res = self._launch()
+        assert res.stream is not None
+        classes = [e.cls for e in res.stream]
+        assert classes.count(InstrClass.FMA) == 8
+        assert classes.count(InstrClass.LD_GLOBAL) == 1
+        ld = next(e for e in res.stream if e.cls is InstrClass.LD_GLOBAL)
+        assert ld.bus_bytes_per_warp == pytest.approx(128.0)  # 2 x 64 B
+
+    def test_unrecorded_launch_rejected(self):
+        res = self._launch(record=False)
+        with pytest.raises(ValueError, match="record_stream"):
+            simulate_launch(res)
+
+    def test_agrees_with_analytical_model(self):
+        res = self._launch()
+        ana = res.estimate().seconds
+        sim = simulate_launch(res).seconds
+        assert sim == pytest.approx(ana, rel=0.35)
+
+    def test_matmul_variants_agree_with_analytical(self):
+        from repro.apps.matmul import build_kernel
+        for variant, ratio_tol in (("naive", 0.25), ("tiled", 0.25),
+                                   ("tiled_unrolled", 0.25)):
+            dev = Device()
+            n = 256
+            a = dev.to_device(np.zeros((n, n), np.float32), "A")
+            b = dev.to_device(np.zeros((n, n), np.float32), "B")
+            c = dev.alloc((n, n), np.float32, "C")
+            res = launch(build_kernel(variant, 16), (n // 16, n // 16),
+                         (16, 16), (a, b, c, n), device=dev,
+                         functional=False, trace_blocks=1,
+                         record_stream=True)
+            ana = res.estimate().seconds
+            sim = simulate_launch(res).seconds
+            assert sim == pytest.approx(ana, rel=ratio_tol), variant
+
+    def test_issue_utilization_bounded(self):
+        res = self._launch()
+        sim = simulate_launch(res)
+        assert 0.0 < sim.issue_utilization <= 1.0
