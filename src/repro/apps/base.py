@@ -184,6 +184,11 @@ class Application(abc.ABC):
     #: need looser float32 bounds)
     verify_rtol: float = 1e-4
     verify_atol: float = 1e-5
+    #: execution backend for this app's launches — anything accepted by
+    #: :func:`repro.cuda.executors.resolve_executor`.  ``"auto"`` picks
+    #: the block-batched backend for functional sweeps of batchable
+    #: kernels and the reference sequential backend otherwise.
+    executor: object = "auto"
 
     def __init__(self, spec: DeviceSpec = DEFAULT_DEVICE) -> None:
         self.spec = spec
@@ -205,6 +210,14 @@ class Application(abc.ABC):
         """Execute the ported kernels on the simulated device."""
 
     # -- helpers --------------------------------------------------------
+    def launch(self, kern, grid, block, args=(), executor=None,
+               **kwargs) -> LaunchResult:
+        """Launch ``kern`` through the staged plan pipeline using the
+        app's configured backend (``executor=`` overrides per call)."""
+        from ..cuda.plan import LaunchPlan
+        plan = LaunchPlan.build(kern, grid, block, args=args, **kwargs)
+        return plan.execute(self.executor if executor is None else executor)
+
     def _make_device(self, device: Optional[Device]) -> Device:
         return device if device is not None else Device(self.spec)
 

@@ -25,7 +25,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..cuda import Device, kernel, launch
+from ..cuda import Device, kernel
 from ..sim.cpumodel import CpuCostParams
 from .base import Application, AppRun
 
@@ -120,7 +120,7 @@ class CoulombicPotential(Application):
             c_x = dev.to_constant(ax[start:stop], f"atom_x[{start}]")
             c_y = dev.to_constant(ay[start:stop], f"atom_y[{start}]")
             c_q = dev.to_constant(q[start:stop], f"atom_q[{start}]")
-            launches.append(launch(
+            launches.append(self.launch(
                 kern, grid, self.BLOCK,
                 (c_x, c_y, c_q, d_pot, stop - start, w, np.float32(sp)),
                 device=dev, functional=functional,

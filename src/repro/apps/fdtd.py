@@ -28,7 +28,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..cuda import Device, kernel, launch
+from ..cuda import Device, kernel
 from ..sim.cpumodel import CpuCostParams
 from .base import Application, AppRun
 
@@ -143,11 +143,11 @@ class Fdtd(Application):
 
         launches = []
         for _ in range(steps):
-            launches.append(launch(kh, grid, self.BLOCK,
+            launches.append(self.launch(kh, grid, self.BLOCK,
                                    (d_ez, d_hx, d_hy, nx, ny, 0.5, 0.5),
                                    device=dev, functional=functional,
                                    trace_blocks=tb))
-            launches.append(launch(ke, grid, self.BLOCK,
+            launches.append(self.launch(ke, grid, self.BLOCK,
                                    (d_ez, d_hx, d_hy, nx, ny, 0.5),
                                    device=dev, functional=functional,
                                    trace_blocks=tb))

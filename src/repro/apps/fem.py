@@ -30,7 +30,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from ..cuda import Device, kernel, launch
+from ..cuda import Device, kernel
 from ..sim.cpumodel import CpuCostParams
 from .base import Application, AppRun
 
@@ -149,7 +149,7 @@ class Fem(Application):
 
         launches = []
         for _ in range(iters):
-            launches.append(launch(kern, grid, (self.BLOCK,),
+            launches.append(self.launch(kern, grid, (self.BLOCK,),
                                    (d_rowptr, d_colidx, d_values, d_x, d_y,
                                     n),
                                    device=dev, functional=functional,

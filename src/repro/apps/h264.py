@@ -26,7 +26,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..cuda import Device, kernel, launch
+from ..cuda import Device, kernel
 from ..sim.cpumodel import CpuCostParams
 from .base import Application, AppRun
 
@@ -79,7 +79,8 @@ def motion_search_kernel():
             notes="current MB in shared memory, reference frame via "
                   "texture cache, tree reduction for the best vector")
     def me(ctx, cur, ref_tex, sads_out, best_out, width, height):
-        t = ctx.nthreads          # CAND*CAND candidates
+        t = ctx.nthreads          # lane-vector width
+        tpb = ctx.threads_per_block   # CAND*CAND candidates per block
         bx, by = ctx.bx, ctx.by
         ctx.address_ops(4)
         dx = ctx.tid % CAND - R
@@ -113,7 +114,7 @@ def motion_search_kernel():
             acc = ctx.merge(zero_acc, acc)
 
         # write the full SAD array back for the host encoder
-        out = (by * ctx.gridDim.x + bx) * t + ctx.tid
+        out = (by * ctx.gridDim.x + bx) * tpb + ctx.tid
         ctx.st_global(sads_out, out, acc)
 
         # tree reduction over candidates to find the argmin
@@ -124,7 +125,7 @@ def motion_search_kernel():
         ctx.sync()
         stride = 256
         while stride >= 1:
-            with ctx.masked((ctx.tid < stride) & (ctx.tid + stride < t)):
+            with ctx.masked((ctx.tid < stride) & (ctx.tid + stride < tpb)):
                 other = ctx.ld_shared(red_v, ctx.tid + stride)
                 mine = ctx.ld_shared(red_v, ctx.tid)
                 oidx = ctx.ld_shared(red_i, ctx.tid + stride)
@@ -185,7 +186,7 @@ class H264(Application):
             d_sads = dev.alloc(mbs_x * mbs_y * CAND * CAND, np.float32,
                                "sads")
             d_best = dev.alloc(mbs_x * mbs_y, np.int32, "best_mv")
-            launches.append(launch(
+            launches.append(self.launch(
                 kern, (mbs_x, mbs_y), (CAND * CAND,),
                 (d_cur, d_ref, d_sads, d_best, w, h),
                 device=dev, functional=functional, trace_blocks=tb))

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..cuda import Device, kernel, launch
+from ..cuda import Device, kernel
 from ..sim.cpumodel import CpuCostParams
 from .base import Application, AppRun
 
@@ -101,7 +101,8 @@ def lbm_step_kernel(layout: str):
         x = cell % nx
         y = cell // nx
         # collision scratch: 9 distributions per thread in shared memory
-        sh = ctx.shared_alloc((ctx.nthreads, Q), np.float32, "fpriv")
+        sh = ctx.shared_alloc((ctx.threads_per_block, Q), np.float32,
+                              "fpriv")
 
         rho = np.zeros(ctx.nthreads, dtype=np.float32)
         mx = np.zeros(ctx.nthreads, dtype=np.float32)
@@ -214,7 +215,7 @@ class Lbm(Application):
         launches: List = []
         src, dst = buf_a, buf_b
         for _ in range(steps):
-            launches.append(launch(kern, grid, (self.BLOCK,),
+            launches.append(self.launch(kern, grid, (self.BLOCK,),
                                    (src, dst, nx, ny, inv_tau),
                                    device=dev, functional=functional,
                                    trace_blocks=tb))

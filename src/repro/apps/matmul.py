@@ -44,7 +44,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..cuda import Device, DeviceArray, Kernel, LaunchResult, kernel, launch
+from ..cuda import Device, DeviceArray, Kernel, LaunchResult, kernel
 from ..sim.cpumodel import CpuCostParams
 from .base import Application, AppRun
 
@@ -253,7 +253,7 @@ class MatMul(Application):
         d_c = dev.alloc((np_, np_), np.float32, "C")
 
         grid = (np_ // block_dim[0], np_ // block_dim[1])
-        result = launch(kern, grid, block_dim, (d_a, d_b, d_c, np_),
+        result = self.launch(kern, grid, block_dim, (d_a, d_b, d_c, np_),
                         device=dev, functional=functional,
                         trace_blocks=trace_blocks)
         outputs = {}

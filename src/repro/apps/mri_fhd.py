@@ -21,7 +21,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..cuda import Device, kernel, launch
+from ..cuda import Device, kernel
 from ..sim.cpumodel import CpuCostParams
 from .base import Application, AppRun
 
@@ -126,7 +126,7 @@ class MriFhd(Application):
             c_kz = dev.to_constant(traj[2, start:stop], "kz")
             c_dr = dev.to_constant(data[0, start:stop], "dr")
             c_di = dev.to_constant(data[1, start:stop], "di")
-            launches.append(launch(
+            launches.append(self.launch(
                 kern, (grid,), (self.BLOCK,),
                 (c_kx, c_ky, c_kz, c_dr, c_di, d_x, d_y, d_z, d_r, d_i,
                  stop - start),

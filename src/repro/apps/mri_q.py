@@ -28,7 +28,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..cuda import Device, kernel, launch
+from ..cuda import Device, kernel
 from ..sim.cpumodel import CpuCostParams
 from .base import Application, AppRun
 
@@ -127,7 +127,7 @@ class MriQ(Application):
             c_ky = dev.to_constant(traj[1, start:stop], "ky")
             c_kz = dev.to_constant(traj[2, start:stop], "kz")
             c_p2 = dev.to_constant(phi2[start:stop], "phi2")
-            launches.append(launch(
+            launches.append(self.launch(
                 kern, (grid,), (self.BLOCK,),
                 (c_kx, c_ky, c_kz, c_p2, d_x, d_y, d_z, d_qr, d_qi,
                  stop - start),

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..cuda import Device, kernel, launch
+from ..cuda import Device, kernel
 from ..sim.cpumodel import CpuCostParams
 from .base import Application, AppRun
 
@@ -157,7 +157,7 @@ class Pns(Application):
                                   f"marking[{done}]")
             d_summary = dev.alloc(width, np.int64, f"summary[{done}]")
             grid = -(-width // self.BLOCK)
-            launches.append(launch(kern, (grid,), (self.BLOCK,),
+            launches.append(self.launch(kern, (grid,), (self.BLOCK,),
                                    (d_marking, d_summary, width), device=dev,
                                    functional=functional, trace_blocks=tb))
             if functional:

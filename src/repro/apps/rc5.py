@@ -28,7 +28,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..cuda import Device, kernel, launch
+from ..cuda import Device, kernel
 from ..sim.cpumodel import CpuCostParams
 from .base import Application, AppRun
 
@@ -200,7 +200,7 @@ class Rc5(Application):
         d_found = dev.alloc(1, np.int64, "found")
         kern = rc5_search_kernel(native)
         grid = -(-nkeys // self.BLOCK)
-        result = launch(kern, (grid,), (self.BLOCK,),
+        result = self.launch(kern, (grid,), (self.BLOCK,),
                         (d_found, int(ct0[0]), int(ct1[0]),
                          self.PLAINTEXT[0], self.PLAINTEXT[1], nkeys),
                         device=dev, functional=functional,

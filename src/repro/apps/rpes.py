@@ -32,7 +32,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..cuda import Device, kernel, launch
+from ..cuda import Device, kernel
 from ..sim.cpumodel import CpuCostParams
 from .base import Application, AppRun
 
@@ -98,7 +98,9 @@ def rpes_kernel():
 
     @kernel("rpes_integral", regs_per_thread=24,
             notes="compute-dense: exp/rsqrt on SFUs, branchless Boys F0; "
-                  "shell table in constant memory + padded shared stage")
+                  "shell table in constant memory + padded shared stage",
+            # Python loop bounds derive from scalar block coordinates
+            batchable=False)
     def rpes(ctx, shells, out, nshells):
         ns = int(nshells)
         s1 = ctx.bx
@@ -257,7 +259,7 @@ class Rpes(Application):
             c_shells = dev.to_constant(self._shells(b).reshape(-1),
                                        f"shells[{b}]")
             d_out = dev.alloc(ns ** 4, np.float32, f"integrals[{b}]")
-            launches.append(launch(kern, (ns, ns), (self.BLOCK,),
+            launches.append(self.launch(kern, (ns, ns), (self.BLOCK,),
                                    (c_shells, d_out, ns), device=dev,
                                    functional=functional, trace_blocks=tb))
             if functional:

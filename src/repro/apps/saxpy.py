@@ -22,7 +22,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..cuda import Device, kernel, launch
+from ..cuda import Device, kernel
 from ..sim.cpumodel import CpuCostParams
 from .base import Application, AppRun
 
@@ -88,7 +88,7 @@ class Saxpy(Application):
         grid = -(-n // self.BLOCK)
         kern = saxpy_kernel()
         launches = [
-            launch(kern, (grid,), (self.BLOCK,), (d_x, d_y, a, n),
+            self.launch(kern, (grid,), (self.BLOCK,), (d_x, d_y, a, n),
                    device=dev, functional=functional,
                    trace_blocks=int(workload.get("trace_blocks", 4)))
             for _ in range(iters)

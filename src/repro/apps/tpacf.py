@@ -29,7 +29,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..cuda import Device, kernel, launch
+from ..cuda import Device, kernel
 from ..sim.cpumodel import CpuCostParams
 from .base import Application, AppRun
 
@@ -73,7 +73,10 @@ def tpacf_kernel():
 
     @kernel("tpacf_histogram", regs_per_thread=18,
             notes="private shared-memory histograms, binary search "
-                  "over constant-memory bin edges")
+                  "over constant-memory bin edges",
+            # indexes shared histograms by raw per-block thread count
+            # and reads hist.data directly, bypassing the lane offsets
+            batchable=False)
     def tpacf(ctx, x1, y1, z1, x2, y2, z2, edges, block_hists,
               n1, n2, chunk, same_set):
         t = ctx.nthreads
@@ -198,7 +201,7 @@ class Tpacf(Application):
         d2 = [dev.to_device(p2[:, k].copy(), f"s2_{k}") for k in range(3)]
         grid = -(-n1 // self.BLOCK)
         d_hists = dev.alloc(grid * NBINS, np.int32, "block_hists")
-        result = launch(
+        result = self.launch(
             kern, (grid,), (self.BLOCK,),
             (*d1, *d2, edges_c, d_hists, n1, n2, self.CHUNK, same_set),
             device=dev, functional=functional, trace_blocks=tb)

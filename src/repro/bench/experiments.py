@@ -55,8 +55,11 @@ def run_table1() -> ExperimentResult:
 # Section 4 — the four matmul anchors
 # ----------------------------------------------------------------------
 
-def run_section4(n: int = 4096, trace_blocks: int = 2) -> ExperimentResult:
+def run_section4(n: int = 4096, trace_blocks: int = 2,
+                 executor=None) -> ExperimentResult:
     app = MatMul()
+    if executor is not None:
+        app.executor = executor
     rows = []
     for variant in ("naive", "tiled", "tiled_unrolled", "prefetch"):
         run = app.run({"n": n, "variant": variant, "tile": 16,
@@ -90,8 +93,11 @@ def run_section4(n: int = 4096, trace_blocks: int = 2) -> ExperimentResult:
 # Figure 4 — tile size x unrolling sweep
 # ----------------------------------------------------------------------
 
-def run_figure4(n: int = 4096, trace_blocks: int = 2) -> ExperimentResult:
+def run_figure4(n: int = 4096, trace_blocks: int = 2,
+                executor=None) -> ExperimentResult:
     app = MatMul()
+    if executor is not None:
+        app.executor = executor
     rows = []
     for config in app.figure4_configs():
         run = app.run_config(config, n=n, trace_blocks=trace_blocks)
@@ -152,11 +158,14 @@ def run_table2() -> ExperimentResult:
 # ----------------------------------------------------------------------
 
 def run_table3(scale: str = "full",
-               names: Optional[Sequence[str]] = None) -> ExperimentResult:
+               names: Optional[Sequence[str]] = None,
+               executor=None) -> ExperimentResult:
     rows = []
     measured: Dict[str, Dict[str, float]] = {}
     for name in (names or suite_names()):
         app = get_app(name)
+        if executor is not None:
+            app.executor = executor
         run = app.run(app.default_workload(scale), functional=False)
         t3 = paper.TABLE3[name]
         trace = run.merged_trace
@@ -197,8 +206,11 @@ def run_table3(scale: str = "full",
 # Figure 5 — LBM access patterns (+ the Section 5.2 texture claim)
 # ----------------------------------------------------------------------
 
-def run_figure5(nx: int = 256, ny: int = 256) -> ExperimentResult:
+def run_figure5(nx: int = 256, ny: int = 256,
+                executor=None) -> ExperimentResult:
     app = Lbm()
+    if executor is not None:
+        app.executor = executor
     rows = []
     times = {}
     for layout in ("aos", "soa", "texture"):

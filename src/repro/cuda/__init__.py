@@ -31,6 +31,15 @@ from .memory import (
 )
 from .context import BlockContext
 from .launch import Kernel, LaunchResult, kernel, launch
+from .plan import LaunchPlan
+from .executors import (
+    BatchedExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    SequentialExecutor,
+    choose_executor,
+    resolve_executor,
+)
 
 __all__ = [
     "Dim3",
@@ -48,4 +57,11 @@ __all__ = [
     "LaunchResult",
     "kernel",
     "launch",
+    "LaunchPlan",
+    "Executor",
+    "SequentialExecutor",
+    "BatchedExecutor",
+    "ProcessPoolExecutor",
+    "choose_executor",
+    "resolve_executor",
 ]

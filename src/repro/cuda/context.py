@@ -83,6 +83,11 @@ class BlockContext:
         self.ty = (tid // block.x) % block.y
         self.tz = tid // (block.x * block.y)
         self.nthreads = T
+        #: threads of ONE block — equals ``nthreads`` here, but stays
+        #: per-block under batched execution, where ``nthreads`` widens
+        #: to all lanes of the batch; index math that means "block
+        #: size" must use this, not ``nthreads``
+        self.threads_per_block = T
         self.nwarps = -(-T // spec.warp_size)
 
         self.trace = trace
@@ -343,7 +348,9 @@ class BlockContext:
             raise CudaModelError(
                 f"index vector has {idx.shape[0]} lanes, block has "
                 f"{self.nthreads} threads")
-        return idx.astype(np.int64)
+        # no copy when the caller already passed int64 lanes — every
+        # consumer treats the flat index as read-only
+        return idx.astype(np.int64, copy=False)
 
     def ld_shared(self, sh: SharedArray, index: ArrayLike) -> np.ndarray:
         idx = self._flat_index(index)

@@ -1,0 +1,416 @@
+"""Pluggable execution backends — stage 2 of the execution pipeline.
+
+Every backend walks the blocks of a :class:`~repro.cuda.plan.LaunchPlan`
+and reports per-block results to a
+:class:`~repro.trace.collector.TraceCollector`:
+
+``SequentialExecutor``
+    The reference backend: one :class:`BlockContext` per block, blocks
+    in linear order — exactly the semantics of the original monolithic
+    ``launch()`` loop.
+
+``BatchedExecutor``
+    Vectorizes the *untraced functional sweep* across many homogeneous
+    blocks at once by widening the per-thread NumPy vectors of the DSL
+    from ``(threads,)`` to ``(blocks * threads,)`` lanes.  Traced
+    blocks still run one-by-one (bit-identical traces); untraced
+    blocks between them are flushed in linear order, so device-array
+    write order — and therefore every functional result — matches the
+    sequential backend bit for bit.  Requires ``Kernel.batchable``
+    (no Python-level control flow on scalar block coordinates, no
+    cross-block data dependences within one launch); non-batchable
+    kernels silently fall back to sequential execution.
+
+``ProcessPoolExecutor``
+    Opt-in: shards untraced functional block ranges across forked
+    worker processes and merges their device-array writes back through
+    a write log.  Requires the CUDA inter-block independence guarantee
+    (a block must not read global data written by another block of the
+    same launch) and a platform with ``fork``.
+
+Use :func:`resolve_executor` (or ``launch(..., executor=...)``) to go
+from ``None`` / ``"sequential"`` / ``"batched"`` / ``"process"`` /
+``"auto"`` / an instance to a backend.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..trace.collector import TraceCollector, TRACE, MEMO, PLAIN
+from .context import BlockContext
+from .launch import LaunchResult
+from .memory import CudaModelError, DeviceArray, SharedArray
+
+
+def _execute_single(plan, collector: TraceCollector, linear: int,
+                    mode: str) -> None:
+    """Run one block through a scalar :class:`BlockContext`."""
+    if mode == TRACE:
+        trace, stream = collector.begin_block(linear)
+        ctx = plan.make_context(linear, trace=trace, stream=stream)
+        plan.kernel.fn(ctx, *plan.args)
+        collector.finish_block(linear, ctx)
+    else:
+        ctx = plan.make_context(linear)
+        plan.kernel.fn(ctx, *plan.args)
+
+
+class Executor(ABC):
+    """Common interface: ``execute(plan) -> LaunchResult``."""
+
+    name = "executor"
+
+    def execute(self, plan) -> LaunchResult:
+        collector = TraceCollector(plan)
+        executed = self._run(plan, collector)
+        return LaunchResult(
+            kernel=plan.kernel,
+            grid=plan.grid,
+            block=plan.block,
+            trace=collector.finalize(),
+            smem_bytes_per_block=collector.smem_bytes,
+            device=plan.device,
+            blocks_executed=executed,
+            blocks_traced=len(plan.traced),
+            stream=collector.stream,
+        )
+
+    @abstractmethod
+    def _run(self, plan, collector: TraceCollector) -> int:
+        """Execute the plan's blocks; returns how many actually ran."""
+
+
+class SequentialExecutor(Executor):
+    """One block at a time, in linear order (the reference backend)."""
+
+    name = "sequential"
+
+    def _run(self, plan, collector: TraceCollector) -> int:
+        executed = 0
+        for linear in plan.block_ids():
+            mode = collector.classify(linear)
+            if mode == MEMO and not plan.functional:
+                continue
+            _execute_single(plan, collector, linear, mode)
+            executed += 1
+        return executed
+
+
+# ----------------------------------------------------------------------
+# Batched (block-vectorized) execution
+# ----------------------------------------------------------------------
+
+class _BatchedSharedArray(SharedArray):
+    """Shared scratchpad widened to one copy per batched block.
+
+    ``size``/``shape`` keep the *per-block* geometry (so kernel-side
+    bounds checks and the 16 KB meter see one block's footprint) while
+    ``data`` holds ``nblocks`` consecutive copies.
+    """
+
+    def __init__(self, name, shape, dtype, word_offset, nblocks) -> None:
+        super().__init__(name, shape, dtype, word_offset)
+        self.nblocks = nblocks
+        self._per_block_size = int(np.prod(shape))
+        self.data = np.zeros(self._per_block_size * nblocks, dtype=dtype)
+        #: per-lane offset of each block's copy, filled by shared_alloc
+        self.lane_offset: Optional[np.ndarray] = None
+
+    @property
+    def size(self) -> int:
+        return self._per_block_size
+
+
+class BatchedBlockContext(BlockContext):
+    """A :class:`BlockContext` spanning many homogeneous blocks.
+
+    Per-thread vectors widen from ``(threads,)`` to
+    ``(blocks * threads,)`` lanes ordered block-major, so elementwise
+    DSL arithmetic produces bit-identical per-lane values and fancy-
+    indexed global stores preserve the sequential last-writer order.
+    Only valid untraced (``trace is None``): instruction accounting,
+    coalescing and bank-conflict models always observe single blocks.
+    """
+
+    def __init__(self, plan, linears: Sequence[int]) -> None:
+        lin = np.asarray(linears, dtype=np.int64)
+        block = plan.block
+        super().__init__(plan.spec, plan.grid, block, (0, 0, 0),
+                         trace=None, caches=None, stream=None)
+        nblocks = int(lin.shape[0])
+        T = block.size
+        reps = np.repeat(lin, T)
+        gx, gy = plan.grid.x, plan.grid.y
+        self.bx = reps % gx
+        self.by = (reps // gx) % gy
+        self.bz = reps // (gx * gy)
+        tid = np.tile(np.arange(T, dtype=np.int64), nblocks)
+        self.tid = tid
+        self.tx = tid % block.x
+        self.ty = (tid // block.x) % block.y
+        self.tz = tid // (block.x * block.y)
+        self.nthreads = nblocks * T
+        self.threads_per_block = T
+        self._nblocks = nblocks
+        self._block_linear_rep = reps
+        self._slot = np.repeat(np.arange(nblocks, dtype=np.int64), T)
+        self._mask_stack = [np.ones(nblocks * T, dtype=bool)]
+
+    @property
+    def block_linear(self) -> np.ndarray:
+        return self._block_linear_rep
+
+    # -- shared memory: one copy per block, per-lane slot offsets ------
+    def shared_alloc(self, shape, dtype=np.float32,
+                     name: str = "smem") -> SharedArray:
+        arr = _BatchedSharedArray(name, tuple(np.atleast_1d(shape)),
+                                  np.dtype(dtype), self._smem_words,
+                                  self._nblocks)
+        arr.lane_offset = self._slot * arr.size
+        self._smem_words += max(1, arr.itemsize // 4) * arr.size
+        if self.smem_bytes > self.spec.shared_mem_per_sm:
+            raise CudaModelError(
+                f"shared memory overflow: block requests {self.smem_bytes} B "
+                f"> {self.spec.shared_mem_per_sm} B per SM")
+        self.shared_arrays.append(arr)
+        return arr
+
+    def ld_shared(self, sh: SharedArray, index) -> np.ndarray:
+        idx = self._flat_index(index)
+        safe = np.clip(idx, 0, sh.size - 1)
+        if len(self._mask_stack) > 1:
+            safe = np.where(self.mask, safe, 0)
+        return sh.data[safe + sh.lane_offset]
+
+    def st_shared(self, sh: SharedArray, index, value) -> None:
+        idx = self._flat_index(index)
+        vals = self._bc(value, sh.data.dtype)
+        if len(self._mask_stack) == 1:
+            if idx.size and (idx.min() < 0 or idx.max() >= sh.size):
+                raise CudaModelError(
+                    f"shared store out of bounds on {sh.name!r}")
+            sh.data[idx + sh.lane_offset] = vals
+            return
+        mask = self.mask
+        act = idx[mask]
+        if act.size and (act.min() < 0 or act.max() >= sh.size):
+            raise CudaModelError(f"shared store out of bounds on {sh.name!r}")
+        sh.data[(idx + sh.lane_offset)[mask]] = vals[mask]
+
+
+class BatchedExecutor(Executor):
+    """Vectorize the untraced functional sweep across blocks.
+
+    ``max_lanes`` bounds one batch's vector width (``blocks * threads``
+    lanes) to keep temporary arrays cache-friendly.
+    """
+
+    name = "batched"
+
+    def __init__(self, max_lanes: int = 1 << 16) -> None:
+        if max_lanes < 1:
+            raise ValueError("max_lanes must be positive")
+        self.max_lanes = max_lanes
+
+    def _run(self, plan, collector: TraceCollector) -> int:
+        if not plan.kernel.batchable:
+            return SequentialExecutor()._run(plan, collector)
+        batch_blocks = max(1, self.max_lanes // plan.block.size)
+        executed = 0
+        pending: List[int] = []
+
+        def flush() -> None:
+            nonlocal executed
+            if not pending:
+                return
+            if len(pending) == 1:
+                _execute_single(plan, collector, pending[0], PLAIN)
+            else:
+                ctx = BatchedBlockContext(plan, pending)
+                plan.kernel.fn(ctx, *plan.args)
+            executed += len(pending)
+            pending.clear()
+
+        for linear in plan.block_ids():
+            mode = collector.classify(linear)
+            if mode == TRACE:
+                flush()     # keep global block order intact
+                _execute_single(plan, collector, linear, TRACE)
+                executed += 1
+            else:
+                if mode == MEMO and not plan.functional:
+                    continue
+                pending.append(linear)
+                if len(pending) >= batch_blocks:
+                    flush()
+        flush()
+        return executed
+
+
+# ----------------------------------------------------------------------
+# Process-pool execution
+# ----------------------------------------------------------------------
+
+#: plan handed to forked workers through copy-on-write memory (fork
+#: start method only — closures inside Kernel objects do not pickle)
+_WORKER_PLAN = None
+
+
+class _WriteLogContext(BlockContext):
+    """Records every global write so a worker's effects can be
+    replayed, in block order, on the parent's device arrays."""
+
+    def __init__(self, plan, linear: int, log: list) -> None:
+        super().__init__(plan.spec, plan.grid, plan.block,
+                         plan.grid.unlinear(linear), trace=None,
+                         caches=None, stream=None)
+        self._log = log
+
+    def st_global(self, arr, index, value) -> None:
+        super().st_global(arr, index, value)
+        idx = self._flat_index(index)
+        mask = self.mask
+        vals = self._bc(value, arr.data.dtype)
+        self._log.append(("st", arr.name, idx[mask].copy(),
+                          vals[mask].copy()))
+
+    def atom_global_add(self, arr, index, value) -> None:
+        super().atom_global_add(arr, index, value)
+        idx = self._flat_index(index)
+        mask = self.mask
+        vals = self._bc(value, arr.data.dtype)
+        self._log.append(("add", arr.name, idx[mask].copy(),
+                          vals[mask].copy()))
+
+
+def _pool_run_span(linears: List[int]) -> list:
+    plan = _WORKER_PLAN
+    log: list = []
+    for linear in linears:
+        ctx = _WriteLogContext(plan, linear, log)
+        plan.kernel.fn(ctx, *plan.args)
+    return log
+
+
+class ProcessPoolExecutor(Executor):
+    """Shard untraced functional blocks across forked workers (opt-in).
+
+    Traced blocks run in-process first (bit-identical traces); the
+    remaining blocks are split into contiguous spans whose write logs
+    are applied back in span order.  Correct only under CUDA's
+    inter-block independence guarantee: a block must not read global
+    data written by another block of the same launch.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 2,
+                 chunk_blocks: Optional[int] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self.chunk_blocks = chunk_blocks
+
+    def _run(self, plan, collector: TraceCollector) -> int:
+        import multiprocessing as mp
+        try:
+            mp_ctx = mp.get_context("fork")
+        except ValueError as exc:
+            raise CudaModelError(
+                "ProcessPoolExecutor needs the 'fork' start method; use "
+                "the sequential or batched backend on this platform"
+            ) from exc
+
+        executed = 0
+        plain: List[int] = []
+        for linear in plan.block_ids():
+            mode = collector.classify(linear)
+            if mode == TRACE:
+                _execute_single(plan, collector, linear, TRACE)
+                executed += 1
+            elif mode == MEMO and not plan.functional:
+                continue
+            else:
+                plain.append(linear)
+        if not plain:
+            return executed
+        if len(plain) <= self.workers:      # not worth forking for
+            for linear in plain:
+                _execute_single(plan, collector, linear, PLAIN)
+            return executed + len(plain)
+
+        chunk = self.chunk_blocks or max(
+            1, -(-len(plain) // (self.workers * 4)))
+        spans = [plain[i:i + chunk] for i in range(0, len(plain), chunk)]
+
+        from concurrent.futures import ProcessPoolExecutor as _FuturesPool
+        global _WORKER_PLAN
+        _WORKER_PLAN = plan
+        try:
+            with _FuturesPool(max_workers=self.workers,
+                              mp_context=mp_ctx) as pool:
+                for log in pool.map(_pool_run_span, spans):
+                    self._apply_write_log(plan, log)
+        finally:
+            _WORKER_PLAN = None
+        return executed + len(plain)
+
+    @staticmethod
+    def _apply_write_log(plan, log: list) -> None:
+        arrays = dict(plan.device.arrays)
+        for arg in plan.args:
+            if isinstance(arg, DeviceArray):
+                arrays[arg.name] = arg
+        for kind, name, idx, vals in log:
+            arr = arrays[name]
+            if kind == "st":
+                arr.data[idx] = vals
+            else:
+                np.add.at(arr.data, idx, vals)
+
+
+# ----------------------------------------------------------------------
+# Resolution / selection policy
+# ----------------------------------------------------------------------
+
+EXECUTORS = {
+    "sequential": SequentialExecutor,
+    "batched": BatchedExecutor,
+    "process": ProcessPoolExecutor,
+}
+
+
+def choose_executor(plan) -> Executor:
+    """The ``"auto"`` policy: batch the functional sweep whenever the
+    kernel allows it and there is enough untraced work to amortize the
+    batching bookkeeping; otherwise stay on the reference backend."""
+    untraced = plan.num_blocks - len(plan.traced)
+    if plan.functional and plan.kernel.batchable and untraced >= 4:
+        return BatchedExecutor()
+    return SequentialExecutor()
+
+
+def resolve_executor(spec, plan=None) -> Executor:
+    """Coerce ``None`` / name / class / instance into an executor."""
+    if spec is None:
+        return SequentialExecutor()
+    if isinstance(spec, Executor):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, Executor):
+        return spec()
+    if isinstance(spec, str):
+        if spec == "auto":
+            if plan is None:
+                raise CudaModelError(
+                    "executor='auto' needs a plan to choose from")
+            return choose_executor(plan)
+        cls = EXECUTORS.get(spec)
+        if cls is not None:
+            return cls()
+    raise CudaModelError(
+        f"unknown executor {spec!r}; expected one of "
+        f"{sorted(EXECUTORS)} + ['auto'], an Executor class or instance")

@@ -1,4 +1,4 @@
-"""Kernel objects and the launch machinery.
+"""Kernel objects, launch results, and the launch facade.
 
 A :class:`Kernel` bundles the DSL function with its *compiled resource
 usage* — registers per thread and statically declared shared memory —
@@ -11,9 +11,14 @@ passes in :mod:`repro.opt` transform them the way the paper describes
 (unrolling eliminates an induction variable, prefetching adds two
 registers, ...).
 
-:func:`launch` validates the configuration against the device limits,
-executes the blocks, and returns a :class:`LaunchResult` carrying the
-scaled :class:`~repro.trace.trace.KernelTrace`.
+:func:`launch` is a thin facade over the staged execution pipeline::
+
+    plan     = LaunchPlan.build(...)   # validation + trace sample (cuda.plan)
+    executor = resolve_executor(...)   # sequential/batched/process (cuda.executors)
+    result   = executor.execute(plan)  # traces via TraceCollector (trace.collector)
+
+and returns a :class:`LaunchResult` carrying the scaled
+:class:`~repro.trace.trace.KernelTrace`.
 
 Tracing strategy (mirrors reasoning from per-block PTX in the paper):
 a deterministic sample of blocks is executed with tracing enabled and
@@ -25,18 +30,13 @@ benchmark harness uses for large problem sizes.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Tuple
 
-import numpy as np
-
-from ..arch.device import DeviceSpec, DEFAULT_DEVICE
-from ..sim.memsys import DirectMappedCache
+from ..arch.device import DeviceSpec
 from ..trace.trace import KernelTrace
-from .dim3 import Dim3, DimLike, as_dim3
-from .context import BlockContext
-from .memory import CudaModelError, Device
+from .dim3 import Dim3, DimLike
+from .memory import Device
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,11 @@ class Kernel:
     regs_per_thread: int = 10
     static_smem_bytes: int = 0
     notes: str = ""
+    #: safe for block-vectorized execution: no Python-level control
+    #: flow on scalar block coordinates, no per-block thread count used
+    #: in index math (use ``ctx.threads_per_block``), and no block
+    #: reading global data another block of the same launch writes
+    batchable: bool = True
 
     def with_resources(self, regs_per_thread: Optional[int] = None,
                        static_smem_bytes: Optional[int] = None) -> "Kernel":
@@ -60,11 +65,13 @@ class Kernel:
 
 
 def kernel(name: str, regs_per_thread: int = 10,
-           static_smem_bytes: int = 0, notes: str = ""):
+           static_smem_bytes: int = 0, notes: str = "",
+           batchable: bool = True):
     """Decorator turning a DSL function into a :class:`Kernel`."""
     def wrap(fn: Callable[..., None]) -> Kernel:
         return Kernel(fn=fn, name=name, regs_per_thread=regs_per_thread,
-                      static_smem_bytes=static_smem_bytes, notes=notes)
+                      static_smem_bytes=static_smem_bytes, notes=notes,
+                      batchable=batchable)
     return wrap
 
 
@@ -115,33 +122,6 @@ class LaunchResult:
         return self.trace.flops / est.seconds / 1e9 if est.seconds else 0.0
 
 
-def _validate(spec: DeviceSpec, grid: Dim3, block: Dim3) -> None:
-    if block.size > spec.max_threads_per_block:
-        raise CudaModelError(
-            f"block of {block.size} threads exceeds the "
-            f"{spec.max_threads_per_block}-thread limit")
-    if block.z > 64:
-        raise CudaModelError("blockDim.z is limited to 64")
-    if grid.x > spec.max_grid_dim or grid.y > spec.max_grid_dim:
-        raise CudaModelError(
-            f"grid {grid} exceeds the {spec.max_grid_dim} per-dimension limit")
-    if grid.z != 1:
-        raise CudaModelError("grids are two-dimensional on this device")
-
-
-def _sample_blocks(grid: Dim3, n: int) -> Sequence[int]:
-    """Deterministic, evenly spread sample of linear block indices.
-
-    Includes the first and last block so boundary-condition code paths
-    are observed.
-    """
-    total = grid.size
-    if total <= n:
-        return list(range(total))
-    idx = np.unique(np.linspace(0, total - 1, n).astype(np.int64))
-    return [int(i) for i in idx]
-
-
 def launch(
     kern: Kernel,
     grid: DimLike,
@@ -152,6 +132,8 @@ def launch(
     trace_blocks: int = 4,
     trace: bool = True,
     record_stream: bool = False,
+    executor=None,
+    memoize: bool = False,
 ) -> LaunchResult:
     """Execute ``kern`` over ``grid`` x ``block`` threads.
 
@@ -160,6 +142,8 @@ def launch(
     functional:
         Run every block (full functional result).  When ``False`` only
         the traced sample runs — performance analysis of large grids.
+        ``functional=False`` with ``trace=False`` would execute
+        nothing and is rejected with :class:`CudaModelError`.
     trace_blocks:
         Number of blocks to execute with tracing enabled; the trace is
         scaled by ``grid.size / traced``.
@@ -168,59 +152,17 @@ def launch(
     record_stream:
         Record the first traced block's ordered instruction stream for
         the event-driven warp simulator (:mod:`repro.sim.warpsim`).
+    executor:
+        Execution backend: ``None`` (reference sequential), a name
+        (``"sequential"`` / ``"batched"`` / ``"process"`` / ``"auto"``),
+        an :class:`~repro.cuda.executors.Executor` class or instance.
+    memoize:
+        Reuse traces across sampled blocks of the same equivalence
+        class (see :mod:`repro.trace.collector`).  Opt-in.
     """
-    device = device if device is not None else Device()
-    spec = device.spec
-    grid = as_dim3(grid)
-    block = as_dim3(block)
-    _validate(spec, grid, block)
-
-    traced = set(_sample_blocks(grid, trace_blocks)) if trace else set()
-    caches: Dict[str, DirectMappedCache] = {
-        "const": DirectMappedCache(spec.constant_cache_bytes_per_sm),
-        "tex": DirectMappedCache(spec.texture_cache_bytes_per_sm),
-    }
-
-    merged = KernelTrace()
-    smem_bytes = kern.static_smem_bytes
-    executed = 0
-    stream = None
-    first_traced = min(traced) if traced else None
-    block_ids = range(grid.size) if functional else sorted(traced)
-    for linear in block_ids:
-        coord = grid.unlinear(linear)
-        do_trace = linear in traced
-        block_stream = [] if (record_stream and linear == first_traced)             else None
-        ctx = BlockContext(
-            spec, grid, block, coord,
-            trace=KernelTrace() if do_trace else None,
-            caches=caches,
-            stream=block_stream,
-        )
-        kern.fn(ctx, *args)
-        if block_stream is not None:
-            stream = block_stream
-        executed += 1
-        if do_trace:
-            ctx.trace.blocks_traced = 1
-            ctx.trace.threads_traced = block.size
-            merged.merge(ctx.trace)
-            smem_bytes = max(smem_bytes,
-                             ctx.smem_bytes + kern.static_smem_bytes)
-
-    if merged.blocks_traced:
-        scale = grid.size / merged.blocks_traced
-        merged = merged.scaled(scale)
-        merged.blocks_traced = len(traced)
-
-    return LaunchResult(
-        kernel=kern,
-        grid=grid,
-        block=block,
-        trace=merged,
-        smem_bytes_per_block=smem_bytes,
-        device=device,
-        blocks_executed=executed,
-        blocks_traced=len(traced),
-        stream=stream,
-    )
+    from .plan import LaunchPlan
+    plan = LaunchPlan.build(
+        kern, grid, block, args=args, device=device, functional=functional,
+        trace_blocks=trace_blocks, trace=trace, record_stream=record_stream,
+        memoize=memoize)
+    return plan.execute(executor)

@@ -1,0 +1,201 @@
+"""Launch planning — stage 1 of the execution pipeline.
+
+A kernel launch used to be one monolithic loop inside ``launch()``;
+it is now three explicit layers:
+
+``LaunchPlan`` (this module)
+    Captures and validates everything a launch needs *before* any
+    block runs: grid/block geometry against the device limits, the
+    deterministic traced-block sample, the per-SM read-only caches,
+    and the execution/tracing switches.  A plan is inert data — it can
+    be inspected, re-executed, or handed to a different backend.
+
+:mod:`repro.cuda.executors`
+    Pluggable backends that walk the plan's blocks: the reference
+    ``SequentialExecutor`` (one :class:`BlockContext` per block, the
+    original semantics), the ``BatchedExecutor`` (vectorizes the
+    untraced functional sweep across many homogeneous blocks at once)
+    and the opt-in ``ProcessPoolExecutor`` (shards block ranges across
+    forked workers).
+
+:class:`repro.trace.collector.TraceCollector`
+    Owns trace merging, sample-to-grid scaling, stream recording and
+    the trace memoization cache keyed on ``(kernel, block shape, block
+    equivalence class)``.
+
+``launch()`` in :mod:`repro.cuda.launch` is a thin facade over
+``LaunchPlan.build(...).execute(...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from ..arch.device import DeviceSpec
+from ..sim.memsys import DirectMappedCache
+from ..trace.trace import KernelTrace
+from .dim3 import Dim3, DimLike, as_dim3
+from .context import BlockContext
+from .memory import CudaModelError, Device
+from .launch import Kernel, LaunchResult
+
+
+def validate_launch(spec: DeviceSpec, grid: Dim3, block: Dim3) -> None:
+    """Reject configurations the hardware cannot schedule."""
+    if block.size > spec.max_threads_per_block:
+        raise CudaModelError(
+            f"block of {block.size} threads exceeds the "
+            f"{spec.max_threads_per_block}-thread limit")
+    if block.z > 64:
+        raise CudaModelError("blockDim.z is limited to 64")
+    if grid.x > spec.max_grid_dim or grid.y > spec.max_grid_dim:
+        raise CudaModelError(
+            f"grid {grid} exceeds the {spec.max_grid_dim} per-dimension limit")
+    if grid.z != 1:
+        raise CudaModelError("grids are two-dimensional on this device")
+
+
+def sample_blocks(grid: Dim3, n: int) -> Sequence[int]:
+    """Deterministic, evenly spread sample of linear block indices.
+
+    Includes the first and last block so boundary-condition code paths
+    are observed.
+    """
+    total = grid.size
+    if total <= n:
+        return list(range(total))
+    idx = np.unique(np.linspace(0, total - 1, n).astype(np.int64))
+    return [int(i) for i in idx]
+
+
+#: per-axis position classes for the block equivalence relation
+_LO, _MID, _HI, _ONLY = "lo", "mid", "hi", "only"
+
+
+def _axis_class(coord: int, dim: int) -> str:
+    if dim == 1:
+        return _ONLY
+    if coord == 0:
+        return _LO
+    if coord == dim - 1:
+        return _HI
+    return _MID
+
+
+@dataclass
+class LaunchPlan:
+    """Everything one kernel launch needs, decided up front.
+
+    Build with :meth:`build` (which validates), then :meth:`execute`
+    with any executor backend.  The ``traced`` sample and the cache
+    objects are part of the plan so that every backend observes the
+    same blocks and the same cache state evolution.
+    """
+
+    kernel: Kernel
+    grid: Dim3
+    block: Dim3
+    args: Tuple = ()
+    device: Optional[Device] = None
+    functional: bool = True
+    trace_enabled: bool = True
+    trace_blocks: int = 4
+    record_stream: bool = False
+    #: reuse traces across blocks of the same equivalence class
+    #: (opt-in: collapses per-class cache statistics onto one block)
+    memoize: bool = False
+    traced: Tuple[int, ...] = ()
+    caches: Dict[str, DirectMappedCache] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._traced_set = frozenset(self.traced)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        kern: Kernel,
+        grid: DimLike,
+        block: DimLike,
+        args: Tuple = (),
+        device: Optional[Device] = None,
+        functional: bool = True,
+        trace_blocks: int = 4,
+        trace: bool = True,
+        record_stream: bool = False,
+        memoize: bool = False,
+    ) -> "LaunchPlan":
+        device = device if device is not None else Device()
+        spec = device.spec
+        grid = as_dim3(grid)
+        block = as_dim3(block)
+        validate_launch(spec, grid, block)
+        if not functional and not trace:
+            raise CudaModelError(
+                "launch(functional=False, trace=False) would execute zero "
+                "blocks and return an empty trace; enable tracing or run "
+                "functionally")
+        traced = tuple(sample_blocks(grid, trace_blocks)) if trace else ()
+        caches = {
+            "const": DirectMappedCache(spec.constant_cache_bytes_per_sm),
+            "tex": DirectMappedCache(spec.texture_cache_bytes_per_sm),
+        }
+        return cls(kernel=kern, grid=grid, block=block, args=args,
+                   device=device, functional=functional, trace_enabled=trace,
+                   trace_blocks=trace_blocks, record_stream=record_stream,
+                   memoize=memoize, traced=traced, caches=caches)
+
+    # ------------------------------------------------------------------
+    # Geometry / sample queries
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> DeviceSpec:
+        return self.device.spec
+
+    @property
+    def num_blocks(self) -> int:
+        return self.grid.size
+
+    @property
+    def traced_set(self) -> frozenset:
+        return self._traced_set
+
+    def block_ids(self) -> Sequence[int]:
+        """Linear ids of the blocks this launch executes, in order."""
+        if self.functional:
+            return range(self.grid.size)
+        return self.traced
+
+    def equivalence_class(self, linear: int) -> Tuple:
+        """Memoization key of one block: kernel identity, block shape
+        and the block's grid-boundary signature.  Interior blocks of a
+        regular grid share one class and (under ``memoize=True``)
+        trace once."""
+        cx, cy, cz = self.grid.unlinear(linear)
+        return (self.kernel.name, self.block,
+                (_axis_class(cx, self.grid.x),
+                 _axis_class(cy, self.grid.y),
+                 _axis_class(cz, self.grid.z)))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def make_context(self, linear: int,
+                     trace: Optional[KernelTrace] = None,
+                     stream: Optional[list] = None) -> BlockContext:
+        """A scalar (one-block) execution context for block ``linear``."""
+        return BlockContext(
+            self.spec, self.grid, self.block, self.grid.unlinear(linear),
+            trace=trace, caches=self.caches, stream=stream)
+
+    def execute(self, executor=None) -> LaunchResult:
+        """Run the plan: ``None`` selects the reference sequential
+        backend, ``"auto"`` picks one based on the plan, otherwise a
+        backend name, class or instance."""
+        from .executors import resolve_executor
+        return resolve_executor(executor, self).execute(self)

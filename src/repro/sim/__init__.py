@@ -31,6 +31,7 @@ from .timing import (
     estimate_kernel_time,
     estimate_time,
 )
+from .warpsim import WarpSimResult, simulate_launch, simulate_plan, simulate_sm
 
 __all__ = [
     "BoundAnalysis",
@@ -52,4 +53,8 @@ __all__ = [
     "LaunchConfigError",
     "estimate_kernel_time",
     "estimate_time",
+    "WarpSimResult",
+    "simulate_launch",
+    "simulate_plan",
+    "simulate_sm",
 ]

@@ -203,3 +203,23 @@ def simulate_launch(result, spec: Optional[DeviceSpec] = None
         mem_busy_cycles=one_wave.mem_busy_cycles * waves,
         instructions_issued=one_wave.instructions_issued * waves,
     )
+
+
+def simulate_plan(plan, executor=None,
+                  spec: Optional[DeviceSpec] = None) -> WarpSimResult:
+    """Execute a :class:`~repro.cuda.plan.LaunchPlan` and warp-simulate
+    the result.
+
+    Stream recording is forced on (the plan is rebuilt when it was
+    created without ``record_stream=True``) so callers can hand any
+    plan straight to the simulator::
+
+        plan = LaunchPlan.build(kern, grid, block, args, device=dev,
+                                functional=False)
+        sim = simulate_plan(plan)
+    """
+    if not plan.record_stream:
+        from dataclasses import replace as _replace
+        plan = _replace(plan, record_stream=True)
+    result = plan.execute(executor)
+    return simulate_launch(result, spec)

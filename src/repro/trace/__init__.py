@@ -17,6 +17,7 @@ from .instr import (
     is_sfu,
 )
 from .trace import ArrayAccessStats, KernelTrace
+from .collector import TraceCollector
 
 __all__ = [
     "InstrClass",
@@ -30,4 +31,5 @@ __all__ = [
     "is_sfu",
     "ArrayAccessStats",
     "KernelTrace",
+    "TraceCollector",
 ]

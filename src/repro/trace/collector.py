@@ -1,0 +1,101 @@
+"""Trace collection — stage 3 of the execution pipeline.
+
+A :class:`TraceCollector` owns everything that used to be inlined in
+``launch()`` *after* a block ran: accumulating per-block traces,
+tracking the shared-memory high-water mark, capturing the recorded
+instruction stream of the first traced block, and finally scaling the
+sampled trace to the full grid.
+
+It also owns the **trace memoization cache**.  The paper's methodology
+reasons from the PTX of *one* block and scales; for regular grids the
+interior blocks are architecturally identical, so with ``memoize=True``
+on the plan the collector traces one block per *equivalence class*
+(``(kernel, block shape, grid-boundary signature)`` — see
+:meth:`repro.cuda.plan.LaunchPlan.equivalence_class`) and reuses that
+trace for every other sampled block of the class.  This is opt-in
+because the read-only cache statistics are stateful across traced
+blocks: memoization replays the first block's cold-cache misses for
+the whole class instead of observing warm-cache hits.
+
+The collector is deliberately executor-agnostic: backends call
+:meth:`classify` / :meth:`begin_block` / :meth:`finish_block` and never
+touch the merge/scale/memo machinery directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .trace import KernelTrace
+
+#: block dispositions returned by :meth:`TraceCollector.classify`
+TRACE, MEMO, PLAIN = "trace", "memo", "plain"
+
+
+class TraceCollector:
+    """Accumulates one launch's trace from per-block executions."""
+
+    def __init__(self, plan) -> None:
+        self.plan = plan
+        self.merged = KernelTrace()
+        self.smem_bytes = plan.kernel.static_smem_bytes
+        self.stream: Optional[list] = None
+        self.first_traced: Optional[int] = min(plan.traced) if plan.traced \
+            else None
+        self.memo_hits = 0
+        self._memo: Dict[Tuple, Tuple[KernelTrace, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Per-block protocol (called by executors)
+    # ------------------------------------------------------------------
+    def wants_stream(self, linear: int) -> bool:
+        """Should this block record its ordered instruction stream?"""
+        return self.plan.record_stream and linear == self.first_traced
+
+    def classify(self, linear: int) -> str:
+        """Disposition of one block: ``TRACE`` (execute with tracing),
+        ``MEMO`` (trace satisfied from the memo cache — merged as a
+        side effect; execute untraced iff the launch is functional) or
+        ``PLAIN`` (untraced functional block)."""
+        if linear not in self.plan.traced_set:
+            return PLAIN
+        if self.plan.memoize and not self.wants_stream(linear):
+            hit = self._memo.get(self.plan.equivalence_class(linear))
+            if hit is not None:
+                trace, smem = hit
+                self.merged.merge(trace)
+                self.smem_bytes = max(self.smem_bytes, smem)
+                self.memo_hits += 1
+                return MEMO
+        return TRACE
+
+    def begin_block(self, linear: int) -> Tuple[KernelTrace, Optional[list]]:
+        """Fresh trace (and stream sink, when recording) for one traced
+        block's :class:`~repro.cuda.context.BlockContext`."""
+        return KernelTrace(), ([] if self.wants_stream(linear) else None)
+
+    def finish_block(self, linear: int, ctx) -> None:
+        """Fold one traced block's context back into the launch trace."""
+        ctx.trace.blocks_traced = 1
+        ctx.trace.threads_traced = self.plan.block.size
+        block_smem = ctx.smem_bytes + self.plan.kernel.static_smem_bytes
+        if self.plan.memoize:
+            self._memo.setdefault(self.plan.equivalence_class(linear),
+                                  (ctx.trace, block_smem))
+        self.merged.merge(ctx.trace)
+        self.smem_bytes = max(self.smem_bytes, block_smem)
+        if ctx.stream is not None:
+            self.stream = ctx.stream
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def finalize(self) -> KernelTrace:
+        """Scale the sampled trace to the full grid (the paper's
+        per-block-PTX extrapolation)."""
+        merged = self.merged
+        if merged.blocks_traced:
+            scale = self.plan.grid.size / merged.blocks_traced
+            merged = merged.scaled(scale)
+            merged.blocks_traced = len(self.plan.traced)
+        return merged

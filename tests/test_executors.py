@@ -1,0 +1,266 @@
+"""Executor backends: bit-identity, memoization and the plan facade.
+
+The pipeline's core contract is that every backend is *observationally
+identical* to the reference ``SequentialExecutor``: same device-array
+bits, same scaled trace statistics, same block accounting.  The
+property tests here drive random grid/block shapes and three real
+applications (matmul, SAXPY, LBM) through both backends and compare
+everything exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.lbm import Lbm
+from repro.apps.matmul import MatMul
+from repro.apps.saxpy import Saxpy
+from repro.cuda import (
+    BatchedExecutor,
+    CudaModelError,
+    Device,
+    LaunchPlan,
+    ProcessPoolExecutor,
+    SequentialExecutor,
+    choose_executor,
+    kernel,
+    launch,
+    resolve_executor,
+)
+
+
+@kernel("coords_writer", regs_per_thread=6)
+def coords_writer(ctx, out, width):
+    """Writes a value derived from every coordinate a kernel can see —
+    any widening mistake in the batched context shows up as a bit
+    difference somewhere in ``out``."""
+    i = ctx.global_tid()
+    v = (ctx.bx * 1.0 + ctx.by * 0.5 + ctx.tx * 0.25 + ctx.ty * 0.125
+         + ctx.tid * 0.0625)
+    with ctx.masked(i < width):
+        ctx.st_global(out, i, ctx.fma(v.astype(np.float32),
+                                      np.float32(2.0),
+                                      np.float32(1.0)))
+
+
+@kernel("smem_reverser", regs_per_thread=8)
+def smem_reverser(ctx, out):
+    """Round-trips values through shared memory with a per-block
+    permutation — exercises the batched per-block smem slots."""
+    tpb = ctx.threads_per_block
+    sh = ctx.shared_alloc(tpb, np.float32, "stage")
+    ctx.st_shared(sh, ctx.tid, (ctx.block_linear + ctx.tid).astype(np.float32))
+    ctx.sync()
+    rev = tpb - 1 - ctx.tid
+    ctx.st_global(out, ctx.global_tid(), ctx.ld_shared(sh, rev))
+
+
+def _run_pair(kern, grid, block, make_args, **kwargs):
+    """Run the same launch under both backends; return both sides."""
+    sides = []
+    for ex in (SequentialExecutor(), BatchedExecutor()):
+        dev = Device()
+        args, arrays = make_args(dev)
+        res = launch(kern, grid, block, args, device=dev, executor=ex,
+                     **kwargs)
+        sides.append((res, [a.to_host().copy() for a in arrays]))
+    return sides
+
+
+def _assert_identical(sides):
+    (r0, outs0), (r1, outs1) = sides
+    for a0, a1 in zip(outs0, outs1):
+        np.testing.assert_array_equal(a0, a1)
+    assert r0.trace.summary() == r1.trace.summary()
+    assert r0.blocks_executed == r1.blocks_executed
+    assert r0.blocks_traced == r1.blocks_traced
+    assert r0.smem_bytes_per_block == r1.smem_bytes_per_block
+
+
+# ----------------------------------------------------------------------
+# Random-shape bit-identity
+# ----------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(gx=st.integers(1, 8), gy=st.integers(1, 6),
+       bx=st.integers(1, 32), by=st.integers(1, 4))
+def test_batched_identical_across_shapes(gx, gy, bx, by):
+    width = gx * gy * bx * by  # full coverage, no tail
+
+    def make(dev):
+        out = dev.alloc(width, np.float32, "out")
+        return (out, width), [out]
+
+    _assert_identical(_run_pair(coords_writer, (gx, gy), (bx, by), make))
+
+
+@settings(max_examples=15, deadline=None)
+@given(nblocks=st.integers(1, 24), tpb=st.sampled_from([8, 32, 64]))
+def test_batched_shared_memory_identical(nblocks, tpb):
+    def make(dev):
+        out = dev.alloc(nblocks * tpb, np.float32, "out")
+        return (out,), [out]
+
+    _assert_identical(_run_pair(smem_reverser, (nblocks,), (tpb,), make))
+
+
+# ----------------------------------------------------------------------
+# Application-level bit-identity (matmul / SAXPY / LBM)
+# ----------------------------------------------------------------------
+
+def _app_outputs(app, workload, executor):
+    app.executor = executor
+    run = app.run(workload, functional=True)
+    return run
+
+
+def _assert_app_identical(app_cls, workload):
+    runs = [_app_outputs(app_cls(), workload, ex)
+            for ex in ("sequential", "batched")]
+    assert set(runs[0].outputs) == set(runs[1].outputs)
+    for key in runs[0].outputs:
+        np.testing.assert_array_equal(runs[0].outputs[key],
+                                      runs[1].outputs[key])
+    assert runs[0].merged_trace.summary() == runs[1].merged_trace.summary()
+
+
+@settings(max_examples=8, deadline=None)
+@given(k=st.integers(2, 5),
+       variant=st.sampled_from(["naive", "tiled", "tiled_unrolled",
+                                "prefetch"]))
+def test_matmul_identical_under_batched(k, variant):
+    _assert_app_identical(
+        MatMul, {"n": 16 * k, "variant": variant, "tile": 16})
+
+
+@settings(max_examples=8, deadline=None)
+@given(n=st.integers(64, 2048), iters=st.integers(1, 3))
+def test_saxpy_identical_under_batched(n, iters):
+    _assert_app_identical(Saxpy, {"n": n, "a": 2.5, "iterations": iters})
+
+
+@settings(max_examples=6, deadline=None)
+@given(nx=st.sampled_from([32, 64]), ny=st.sampled_from([8, 16]),
+       layout=st.sampled_from(["aos", "soa", "texture"]))
+def test_lbm_identical_under_batched(nx, ny, layout):
+    _assert_app_identical(
+        Lbm, {"nx": nx, "ny": ny, "steps": 2, "total_steps": 2,
+              "layout": layout})
+
+
+# ----------------------------------------------------------------------
+# The functional=False + trace=False regression (old silent no-op)
+# ----------------------------------------------------------------------
+
+def test_no_work_launch_rejected():
+    dev = Device()
+    out = dev.alloc(64, np.float32, "out")
+    with pytest.raises(CudaModelError, match="zero blocks"):
+        launch(coords_writer, (2,), (32,), (out, 64), device=dev,
+               functional=False, trace=False)
+
+
+# ----------------------------------------------------------------------
+# Trace memoization
+# ----------------------------------------------------------------------
+
+def test_memoization_reuses_interior_blocks():
+    dev = Device()
+    out = dev.alloc(32 * 64, np.float32, "out")
+    plan = LaunchPlan.build(coords_writer, (32,), (64,),
+                            (out, 32 * 64), device=dev,
+                            functional=False, trace_blocks=8, memoize=True)
+    # 8 sampled blocks of a 1-D grid: one lo, one hi, six interior —
+    # the six interior blocks share one equivalence class
+    classes = {plan.equivalence_class(b) for b in plan.traced}
+    assert len(classes) == 3
+    result = plan.execute("sequential")
+    assert result.blocks_traced == 8
+    assert result.blocks_executed == 3      # one run per class
+
+
+def test_memoized_trace_matches_unmemoized_for_uniform_kernel():
+    def one(memoize):
+        dev = Device()
+        out = dev.alloc(16 * 32, np.float32, "out")
+        res = launch(coords_writer, (16,), (32,), (out, 16 * 32),
+                     device=dev, functional=True, trace_blocks=4,
+                     memoize=memoize)
+        return res, out.to_host().copy()
+
+    (r0, o0), (r1, o1) = one(False), one(True)
+    np.testing.assert_array_equal(o0, o1)
+    # coords_writer touches no caches, so replayed interior blocks
+    # contribute exactly the statistics they would have traced
+    assert r0.trace.summary() == r1.trace.summary()
+
+
+# ----------------------------------------------------------------------
+# Process-pool backend
+# ----------------------------------------------------------------------
+
+def test_process_pool_matches_sequential():
+    try:
+        import multiprocessing as mp
+        mp.get_context("fork")
+    except ValueError:
+        pytest.skip("fork start method unavailable")
+
+    def make(dev):
+        out = dev.alloc(12 * 32, np.float32, "out")
+        return (out, 12 * 32), [out]
+
+    sides = []
+    for ex in (SequentialExecutor(), ProcessPoolExecutor(workers=2)):
+        dev = Device()
+        args, arrays = make(dev)
+        res = launch(coords_writer, (12,), (32,), args, device=dev,
+                     executor=ex)
+        sides.append((res, [a.to_host().copy() for a in arrays]))
+    _assert_identical(sides)
+
+
+# ----------------------------------------------------------------------
+# Resolution / selection policy
+# ----------------------------------------------------------------------
+
+def test_resolve_executor_accepts_all_spellings():
+    assert isinstance(resolve_executor(None), SequentialExecutor)
+    assert isinstance(resolve_executor("batched"), BatchedExecutor)
+    assert isinstance(resolve_executor(BatchedExecutor), BatchedExecutor)
+    inst = SequentialExecutor()
+    assert resolve_executor(inst) is inst
+    with pytest.raises(CudaModelError, match="unknown executor"):
+        resolve_executor("vectorized")
+
+
+def test_auto_policy_prefers_batched_for_functional_sweeps():
+    dev = Device()
+    out = dev.alloc(64 * 32, np.float32, "out")
+    plan = LaunchPlan.build(coords_writer, (64,), (32,), (out, 64 * 32),
+                            device=dev, functional=True)
+    assert isinstance(choose_executor(plan), BatchedExecutor)
+    perf = LaunchPlan.build(coords_writer, (64,), (32,), (out, 64 * 32),
+                            device=dev, functional=False)
+    assert isinstance(choose_executor(perf), SequentialExecutor)
+
+
+def test_non_batchable_kernel_falls_back_to_sequential():
+    scalar_probe = coords_writer.fn
+
+    @kernel("scalar_block_probe", regs_per_thread=6, batchable=False)
+    def probe(ctx, out, width):
+        # Python-level use of the scalar block coordinate: legal only
+        # on the sequential backend, hence batchable=False
+        offset = int(ctx.block_linear) * 0.0
+        scalar_probe(ctx, out, width)
+
+    dev = Device()
+    out = dev.alloc(8 * 32, np.float32, "out")
+    res = launch(probe, (8,), (32,), (out, 8 * 32), device=dev,
+                 executor=BatchedExecutor())
+    dev2 = Device()
+    out2 = dev2.alloc(8 * 32, np.float32, "out")
+    launch(coords_writer, (8,), (32,), (out2, 8 * 32), device=dev2)
+    np.testing.assert_array_equal(out.to_host(), out2.to_host())
+    assert res.blocks_executed == 8
