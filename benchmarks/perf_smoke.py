@@ -2,61 +2,76 @@
 
 Times the full functional sweep (1024 blocks of 256 threads) of the
 ``tiled_unrolled`` kernel under the reference ``SequentialExecutor``
-and the block-vectorized ``BatchedExecutor``, checks the device
-results are bit-identical, and writes ``BENCH_pipeline.json`` at the
-repo root.  CI gates on the batched backend being >= 5x faster.
+and the block-vectorized ``BatchedExecutor`` using the observability
+layer's span tracer (no hand-rolled ``perf_counter`` pairs), checks
+the device results are bit-identical, and writes
+``BENCH_pipeline.json`` at the repo root with the per-stage pipeline
+breakdown (plan/execute/collect/finalize) of each backend plus the
+profiler-overhead measurement.  CI gates on the batched backend being
+>= 5x faster; the <5% profiler-overhead gate runs in the dedicated
+``obs-profile`` CI job (``profile_report --overhead-gate``).
 
 Run as ``PYTHONPATH=src python benchmarks/perf_smoke.py``.
 """
 
 import json
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.cuda import BatchedExecutor, Device, SequentialExecutor, launch
 from repro.apps.matmul import MatMul, build_kernel
+from repro.bench.profile_report import measure_overhead
+from repro.obs import SpanTracer, use_tracer
 
 N = 512
 TILE = 16
 SPEEDUP_FLOOR = 5.0
 
 
-def _one(executor, a, b):
+def _one(tracer, executor, label, a, b):
     dev = Device()
     d_a = dev.to_device(a, "A")
     d_b = dev.to_device(b, "B")
     d_c = dev.alloc((N, N), np.float32, "C")
     kern = build_kernel("tiled_unrolled", TILE)
-    t0 = time.perf_counter()
-    launch(kern, (N // TILE, N // TILE), (TILE, TILE),
-           (d_a, d_b, d_c, N), device=dev, executor=executor)
-    wall = time.perf_counter() - t0
-    return wall, d_c.to_host().copy()
+    with tracer.span(label) as node:
+        result = launch(kern, (N // TILE, N // TILE), (TILE, TILE),
+                        (d_a, d_b, d_c, N), device=dev, executor=executor)
+    return node.seconds, result.stage_seconds, d_c.to_host().copy()
 
 
 def main() -> int:
     a, b = MatMul()._inputs(N)
-    seq_wall, seq_c = _one(SequentialExecutor(), a, b)
-    bat_wall, bat_c = _one(BatchedExecutor(), a, b)
+    tracer = SpanTracer()
+    with use_tracer(tracer):
+        seq_wall, seq_stages, seq_c = _one(
+            tracer, SequentialExecutor(), "launch.sequential", a, b)
+        bat_wall, bat_stages, bat_c = _one(
+            tracer, BatchedExecutor(), "launch.batched", a, b)
     identical = bool(np.array_equal(seq_c, bat_c))
     speedup = seq_wall / bat_wall if bat_wall > 0 else 0.0
+    overhead = measure_overhead()
 
+    round_stages = lambda s: {k: round(v, 4) for k, v in s.items()}
     report = {
         "benchmark": "pipeline_perf_smoke",
         "workload": f"matmul {N}^3 functional, tiled_unrolled {TILE}x{TILE}",
         "sequential_seconds": round(seq_wall, 3),
         "batched_seconds": round(bat_wall, 3),
+        "sequential_stage_seconds": round_stages(seq_stages),
+        "batched_stage_seconds": round_stages(bat_stages),
         "speedup": round(speedup, 2),
         "speedup_floor": SPEEDUP_FLOOR,
         "bit_identical": identical,
         "checksum": float(np.abs(bat_c).sum()),
+        "profiler_overhead": overhead,
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
+    print(tracer.format_tree())
 
     if not identical:
         print("FAIL: batched result differs from sequential", file=sys.stderr)

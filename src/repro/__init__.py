@@ -13,6 +13,8 @@ The package provides, in pure Python/NumPy:
   an Opteron-248-class CPU baseline model;
 * :mod:`repro.apps` — the paper's 12-application suite and the
   Section 4 matrix-multiplication optimization study;
+* :mod:`repro.obs` — metrics, spans and the nvprof-style
+  :class:`~repro.obs.profiler.LaunchProfiler`;
 * :mod:`repro.bench` — runners that regenerate every table and figure.
 
 Quickstart::
@@ -23,6 +25,6 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import arch, cuda, sim, trace  # noqa: F401
+from . import arch, cuda, obs, sim, trace  # noqa: F401
 
-__all__ = ["arch", "cuda", "sim", "trace", "__version__"]
+__all__ = ["arch", "cuda", "obs", "sim", "trace", "__version__"]

@@ -18,19 +18,28 @@ from ..apps.matmul import MatMul
 from ..apps.lbm import Lbm
 from ..apps.registry import get_app, suite_names
 from ..data import paper
+from ..obs.profiler import LaunchProfiler
 from ..sim.bounds import analyze_bounds
 from .tables import format_table
 
 
 @dataclass
 class ExperimentResult:
-    """Rows of one regenerated table/figure plus free-form notes."""
+    """Rows of one regenerated table/figure plus free-form notes.
+
+    ``records`` carries the structured per-config launch profiles
+    (:meth:`~repro.obs.profiler.LaunchRecord.to_dict` dicts tagged with
+    the configuration that produced them) for experiments that run
+    under a :class:`~repro.obs.profiler.LaunchProfiler` — evidence to
+    attach to any performance claim derived from the table.
+    """
 
     exp_id: str
     title: str
     headers: Sequence[str]
     rows: List[Sequence[object]]
     notes: List[str] = field(default_factory=list)
+    records: List[Dict[str, object]] = field(default_factory=list)
 
     def render(self) -> str:
         out = format_table(self.headers, self.rows,
@@ -99,8 +108,12 @@ def run_figure4(n: int = 4096, trace_blocks: int = 2,
     if executor is not None:
         app.executor = executor
     rows = []
+    records = []
     for config in app.figure4_configs():
-        run = app.run_config(config, n=n, trace_blocks=trace_blocks)
+        with LaunchProfiler() as prof:
+            run = app.run_config(config, n=n, trace_blocks=trace_blocks)
+        records.extend({**rec.to_dict(), "config": config.label}
+                       for rec in prof.records)
         est = run.launches[0].estimate()
         occ = est.occupancy
         ref = paper.FIGURE4_GFLOPS.get(config.label)
@@ -116,7 +129,7 @@ def run_figure4(n: int = 4096, trace_blocks: int = 2,
         "Figure 4", f"matmul GFLOPS vs tile size ({n}x{n})",
         ["configuration", "GFLOPS (model)", "GFLOPS (paper)",
          "blocks/SM", "threads/SM", "bound"],
-        rows)
+        rows, records=records)
     res.notes.append("(r) = reconstructed bar height; only the 16x16 "
                      "bars survive in the OCR'd prose")
     return res
@@ -161,12 +174,17 @@ def run_table3(scale: str = "full",
                names: Optional[Sequence[str]] = None,
                executor=None) -> ExperimentResult:
     rows = []
+    records = []
     measured: Dict[str, Dict[str, float]] = {}
     for name in (names or suite_names()):
         app = get_app(name)
         if executor is not None:
             app.executor = executor
-        run = app.run(app.default_workload(scale), functional=False)
+        with LaunchProfiler() as prof:
+            run = app.run(app.default_workload(scale), functional=False)
+        records.extend({**rec.to_dict(), "config": {"app": name,
+                                                    "scale": scale}}
+                       for rec in prof.records)
         t3 = paper.TABLE3[name]
         trace = run.merged_trace
         rows.append([
@@ -190,7 +208,7 @@ def run_table3(scale: str = "full",
         ["app", "max threads", "regs", "smem/blk", "mem/comp",
          "GPU%", "xfer%", "bottleneck",
          "kernel X", "paper", "app X", "paper"],
-        rows)
+        rows, records=records)
     ks = [m["kernel"] for m in measured.values()]
     as_ = [m["app"] for m in measured.values()]
     res.notes.append(

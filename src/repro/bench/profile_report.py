@@ -1,0 +1,267 @@
+"""nvprof-style launch profile reports and the profiler CLI.
+
+Runs an application of the suite under a
+:class:`~repro.obs.profiler.LaunchProfiler` and prints one row per
+kernel launch — kernel, geometry, executor, block accounting,
+per-stage wall time, trace counters and the timing model's binding
+bottleneck — the way ``nvprof`` summarized launches on real hardware.
+
+Command line::
+
+    python -m repro.bench.profile_report matmul
+    python -m repro.bench.profile_report matmul --json
+    python -m repro.bench.profile_report lbm --chrome-trace trace.json
+    python -m repro.bench.profile_report matmul --overhead-gate 5
+
+For ``matmul`` the report covers the Section 4 optimization ladder
+(naive / tiled / tiled_unrolled / prefetch); any other registry app
+runs its default workload.  ``--overhead-gate PCT`` additionally times
+a functional matmul sweep with observability fully disabled vs. under
+a profiler and fails (exit 1) if profiling costs more than PCT percent
+— the CI guard for the zero-overhead-by-default contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs.profiler import LaunchProfiler, LaunchRecord, STAGES
+from .tables import format_table
+
+#: matmul variants the profile ladder walks, in paper order
+MATMUL_VARIANTS = ("naive", "tiled", "tiled_unrolled", "prefetch")
+
+
+# ----------------------------------------------------------------------
+# Formatting
+# ----------------------------------------------------------------------
+
+def _fmt_count(value: float) -> str:
+    """Compact count rendering: 1234 -> "1234", 2.1e7 -> "2.10e7"."""
+    if value == 0:
+        return "0"
+    if value < 1e5:
+        return f"{value:.0f}"
+    return f"{value:.2e}".replace("e+0", "e").replace("e+", "e")
+
+
+def format_records(records: Sequence[LaunchRecord],
+                   title: str = "launch profile") -> str:
+    """The nvprof-like table over a set of launch records."""
+    headers = ["kernel", "grid", "block", "exec",
+               "blocks(X/T/M)", "plan ms", "exec ms", "coll ms", "fin ms",
+               "warp insts", "txn/acc", "GFLOPS", "bound"]
+    rows = []
+    for rec in records:
+        stages_ms = [rec.stage_seconds.get(s, 0.0) * 1e3 for s in STAGES]
+        rows.append([
+            rec.kernel,
+            rec.grid,
+            rec.block,
+            rec.executor,
+            f"{rec.blocks_executed}/{rec.blocks_traced}/{rec.memo_hits}",
+            f"{stages_ms[0]:.2f}",
+            f"{stages_ms[1]:.2f}",
+            f"{stages_ms[2]:.2f}",
+            f"{stages_ms[3]:.2f}",
+            _fmt_count(rec.warp_insts),
+            f"{rec.overall_transactions_per_access:.2f}",
+            f"{rec.gflops:.2f}",
+            rec.bound,
+        ])
+    out = format_table(headers, rows, title=title)
+    details = []
+    for rec in records:
+        per_array = ", ".join(f"{name}={tpa:.2f}" for name, tpa
+                              in rec.transactions_per_access.items())
+        if per_array:
+            details.append(f"  {rec.kernel}: txn/access per array: "
+                           f"{per_array}")
+    if details:
+        out += "\n" + "\n".join(details)
+    return out
+
+
+def format_metrics(profiler: LaunchProfiler) -> str:
+    """Readable dump of the registry counters the run accumulated."""
+    lines = ["metrics:"]
+    for name, by_label in profiler.registry.to_dict().items():
+        for label, value in by_label.items():
+            if isinstance(value, dict):       # histogram summary
+                value = (f"count={value['count']} mean={value['mean']:.4g} "
+                         f"min={value['min']:.4g} max={value['max']:.4g}")
+            lines.append(f"  {name}{{{label}}} = {value}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Profiling drivers
+# ----------------------------------------------------------------------
+
+def profile_matmul(scale: str = "test", executor=None,
+                   variants: Sequence[str] = MATMUL_VARIANTS,
+                   ) -> Tuple[LaunchProfiler, List[Dict[str, object]]]:
+    """Profile the Section 4 matmul ladder; returns (profiler, configs)."""
+    from ..apps.matmul import MatMul
+    app = MatMul()
+    if executor is not None:
+        app.executor = executor
+    if scale == "full":
+        n, trace_blocks, functional = 4096, 2, False
+    else:
+        n, trace_blocks, functional = 128, 2, True
+    configs = []
+    profiler = LaunchProfiler()
+    with profiler:
+        for variant in variants:
+            app.run({"n": n, "variant": variant, "tile": 16,
+                     "trace_blocks": trace_blocks}, functional=functional)
+            configs.append({"variant": variant, "n": n})
+    return profiler, configs
+
+
+def profile_app(name: str, scale: str = "test", executor=None,
+                ) -> Tuple[LaunchProfiler, List[Dict[str, object]]]:
+    """Profile one suite application's default workload."""
+    if name == "matmul":
+        return profile_matmul(scale=scale, executor=executor)
+    from ..apps.registry import get_app
+    app = get_app(name)
+    if executor is not None:
+        app.executor = executor
+    workload = app.default_workload(scale)
+    profiler = LaunchProfiler()
+    with profiler:
+        app.run(workload, functional=False)
+    return profiler, [dict(workload)]
+
+
+# ----------------------------------------------------------------------
+# Overhead gate
+# ----------------------------------------------------------------------
+
+def measure_overhead(n: int = 256, repeats: int = 3) -> Dict[str, float]:
+    """Best-of-``repeats`` launch wall time for a functional matmul
+    sweep with observability disabled vs. under a full profiler."""
+    import numpy as np
+    from ..apps.matmul import MatMul, build_kernel
+    from ..cuda import BatchedExecutor, Device, launch
+
+    tile = 16
+    kern = build_kernel("tiled_unrolled", tile)
+    a, b = MatMul._inputs(n)
+
+    def one_launch() -> float:
+        dev = Device()
+        d_a = dev.to_device(a, "A")
+        d_b = dev.to_device(b, "B")
+        d_c = dev.alloc((n, n), np.float32, "C")
+        t0 = perf_counter()
+        launch(kern, (n // tile, n // tile), (tile, tile),
+               (d_a, d_b, d_c, n), device=dev, executor=BatchedExecutor())
+        return perf_counter() - t0
+
+    one_launch()    # warm-up: NumPy allocators, import costs
+    disabled = min(one_launch() for _ in range(repeats))
+    enabled_times = []
+    for _ in range(repeats):
+        with LaunchProfiler():
+            enabled_times.append(one_launch())
+    enabled = min(enabled_times)
+    overhead_pct = 100.0 * (enabled - disabled) / disabled \
+        if disabled > 0 else 0.0
+    return {
+        "workload": f"matmul {n}^3 functional, tiled_unrolled, batched",
+        "repeats": repeats,
+        "disabled_seconds": round(disabled, 4),
+        "profiled_seconds": round(enabled, 4),
+        "overhead_pct": round(overhead_pct, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.profile_report",
+        description="nvprof-style launch profile of a suite application")
+    parser.add_argument("app", help="application name (e.g. matmul, lbm)")
+    parser.add_argument("--scale", choices=("test", "full"), default="test")
+    parser.add_argument("--executor", default=None,
+                        help="executor backend (sequential/batched/"
+                             "process/auto)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the structured records as JSON")
+    parser.add_argument("--chrome-trace", metavar="PATH", default=None,
+                        help="write the span trace as chrome://tracing JSON")
+    parser.add_argument("--spans", action="store_true",
+                        help="print the wall-clock span tree")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the accumulated registry metrics")
+    parser.add_argument("--overhead-gate", metavar="PCT", type=float,
+                        default=None,
+                        help="fail if profiling overhead exceeds PCT%% "
+                             "vs. a disabled-observability run")
+    args = parser.parse_args(argv)
+
+    profiler, configs = profile_app(args.app, scale=args.scale,
+                                    executor=args.executor)
+    if len(configs) == len(profiler.records):
+        paired = zip(profiler.records, configs)
+    else:   # one workload, several launches (multi-kernel apps)
+        paired = ((rec, configs[0] if configs else {})
+                  for rec in profiler.records)
+    records = [{**rec.to_dict(), "config": cfg} for rec, cfg in paired]
+
+    overhead = None
+    if args.overhead_gate is not None:
+        overhead = measure_overhead()
+
+    if args.chrome_trace:
+        profiler.tracer.write_chrome_trace(args.chrome_trace)
+
+    if args.json:
+        payload = {
+            "app": args.app,
+            "scale": args.scale,
+            "records": records,
+            "metrics": profiler.registry.to_dict(),
+        }
+        if overhead is not None:
+            payload["overhead"] = overhead
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(format_records(profiler.records,
+                             title=f"launch profile: {args.app} "
+                                   f"({args.scale} scale)"))
+        if args.metrics:
+            print()
+            print(format_metrics(profiler))
+        if args.spans:
+            print()
+            print(profiler.tracer.format_tree())
+        if overhead is not None:
+            print()
+            print(f"profiler overhead: {overhead['overhead_pct']:.2f}% "
+                  f"(disabled {overhead['disabled_seconds']}s, profiled "
+                  f"{overhead['profiled_seconds']}s, "
+                  f"best of {overhead['repeats']})")
+    if args.chrome_trace and not args.json:
+        print(f"chrome trace written to {args.chrome_trace}")
+
+    if args.overhead_gate is not None \
+            and overhead["overhead_pct"] > args.overhead_gate:
+        print(f"FAIL: profiler overhead {overhead['overhead_pct']:.2f}% "
+              f"> {args.overhead_gate}% gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

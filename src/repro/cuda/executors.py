@@ -36,10 +36,14 @@ from ``None`` / ``"sequential"`` / ``"batched"`` / ``"process"`` /
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.profiler import active_profiler
+from ..obs.registry import MetricsRegistry, get_registry, use_registry
+from ..obs.spans import span
 from ..trace.collector import TraceCollector, TRACE, MEMO, PLAIN
 from .context import BlockContext
 from .launch import LaunchResult
@@ -60,24 +64,66 @@ def _execute_single(plan, collector: TraceCollector, linear: int,
 
 
 class Executor(ABC):
-    """Common interface: ``execute(plan) -> LaunchResult``."""
+    """Common interface: ``execute(plan) -> LaunchResult``.
+
+    ``execute`` is also the pipeline's instrumentation point: it times
+    the execute/collect/finalize stages, publishes launch counters to
+    the ambient :class:`~repro.obs.registry.MetricsRegistry`, and hands
+    the finished result to the active
+    :class:`~repro.obs.profiler.LaunchProfiler` (if any).  With
+    observability disabled this adds three ``perf_counter`` calls per
+    *launch* — blocks pay nothing.
+    """
 
     name = "executor"
 
     def execute(self, plan) -> LaunchResult:
-        collector = TraceCollector(plan)
-        executed = self._run(plan, collector)
-        return LaunchResult(
+        profiler = active_profiler()
+        registry = get_registry()
+        collector = TraceCollector(
+            plan, timed=profiler is not None or registry.enabled)
+        t0 = perf_counter()
+        with span(f"executor.{self.name}", kernel=plan.kernel.name,
+                  grid=plan.grid, block=plan.block):
+            executed = self._run(plan, collector)
+        t1 = perf_counter()
+        with span("collector.finalize", kernel=plan.kernel.name):
+            trace = collector.finalize()
+        t2 = perf_counter()
+        result = LaunchResult(
             kernel=plan.kernel,
             grid=plan.grid,
             block=plan.block,
-            trace=collector.finalize(),
+            trace=trace,
             smem_bytes_per_block=collector.smem_bytes,
             device=plan.device,
             blocks_executed=executed,
             blocks_traced=len(plan.traced),
             stream=collector.stream,
+            executor=self.name,
+            memo_hits=collector.memo_hits,
+            block_dispositions=dict(collector.dispositions),
+            stage_seconds={
+                "plan": plan.build_seconds,
+                "execute": max(0.0, (t1 - t0) - collector.collect_seconds),
+                "collect": collector.collect_seconds,
+                "finalize": t2 - t1,
+            },
         )
+        if registry.enabled:
+            kern = plan.kernel.name
+            registry.counter("launch.count", kernel=kern,
+                             executor=self.name).inc()
+            registry.histogram("launch.seconds", kernel=kern,
+                               executor=self.name).observe(
+                                   plan.build_seconds + (t2 - t0))
+            for disposition, count in collector.dispositions.items():
+                if count:
+                    registry.counter("launch.blocks", kernel=kern,
+                                     disposition=disposition).inc(count)
+        if profiler is not None:
+            profiler.on_launch(result)
+        return result
 
     @abstractmethod
     def _run(self, plan, collector: TraceCollector) -> int:
@@ -218,10 +264,15 @@ class BatchedExecutor(Executor):
 
     def _run(self, plan, collector: TraceCollector) -> int:
         if not plan.kernel.batchable:
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("executor.batch_fallbacks",
+                                 kernel=plan.kernel.name).inc()
             return SequentialExecutor()._run(plan, collector)
         batch_blocks = max(1, self.max_lanes // plan.block.size)
         executed = 0
         pending: List[int] = []
+        registry = get_registry()
 
         def flush() -> None:
             nonlocal executed
@@ -232,6 +283,10 @@ class BatchedExecutor(Executor):
             else:
                 ctx = BatchedBlockContext(plan, pending)
                 plan.kernel.fn(ctx, *plan.args)
+            if registry.enabled:
+                registry.histogram("executor.batch_blocks",
+                                   kernel=plan.kernel.name).observe(
+                                       len(pending))
             executed += len(pending)
             pending.clear()
 
@@ -287,13 +342,28 @@ class _WriteLogContext(BlockContext):
                           vals[mask].copy()))
 
 
-def _pool_run_span(linears: List[int]) -> list:
+def _pool_run_span(linears: List[int]) -> Tuple[list, Optional[list]]:
+    """Run one span of blocks in a forked worker.
+
+    Metrics recorded inside the worker land in a *fresh* registry (the
+    inherited copy-on-write one already holds the parent's pre-fork
+    values, which must not be double-counted) and travel back as a
+    snapshot for the parent to merge — the cross-process fan-in path.
+    """
     plan = _WORKER_PLAN
     log: list = []
-    for linear in linears:
-        ctx = _WriteLogContext(plan, linear, log)
-        plan.kernel.fn(ctx, *plan.args)
-    return log
+    worker_registry = MetricsRegistry(enabled=get_registry().enabled)
+    with use_registry(worker_registry):
+        if worker_registry.enabled:
+            import os
+            worker_registry.counter("executor.worker_blocks",
+                                    kernel=plan.kernel.name,
+                                    worker=os.getpid()).inc(len(linears))
+        for linear in linears:
+            ctx = _WriteLogContext(plan, linear, log)
+            plan.kernel.fn(ctx, *plan.args)
+    snapshot = worker_registry.snapshot() if worker_registry.enabled else None
+    return log, snapshot
 
 
 class ProcessPoolExecutor(Executor):
@@ -350,11 +420,14 @@ class ProcessPoolExecutor(Executor):
         from concurrent.futures import ProcessPoolExecutor as _FuturesPool
         global _WORKER_PLAN
         _WORKER_PLAN = plan
+        registry = get_registry()
         try:
             with _FuturesPool(max_workers=self.workers,
                               mp_context=mp_ctx) as pool:
-                for log in pool.map(_pool_run_span, spans):
+                for log, snapshot in pool.map(_pool_run_span, spans):
                     self._apply_write_log(plan, log)
+                    if snapshot:
+                        registry.merge_snapshot(snapshot)
         finally:
             _WORKER_PLAN = None
         return executed + len(plain)

@@ -30,8 +30,8 @@ benchmark harness uses for large problem sizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Tuple
 
 from ..arch.device import DeviceSpec
 from ..trace.trace import KernelTrace
@@ -89,6 +89,14 @@ class LaunchResult:
     blocks_traced: int
     #: ordered instruction stream of one block (record_stream=True)
     stream: Optional[list] = None
+    #: name of the executor backend that ran the launch
+    executor: str = ""
+    #: traced-sample blocks satisfied from the memoization cache
+    memo_hits: int = 0
+    #: block counts by disposition ("trace" / "memo" / "plain")
+    block_dispositions: Dict[str, int] = field(default_factory=dict)
+    #: wall time per pipeline stage (plan / execute / collect / finalize)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def num_blocks(self) -> int:
@@ -120,6 +128,24 @@ class LaunchResult:
         """Achieved GFLOPS under the analytical timing model."""
         est = self.estimate()
         return self.trace.flops / est.seconds / 1e9 if est.seconds else 0.0
+
+    def profile(self):
+        """Structured per-launch profile (an
+        :class:`~repro.obs.profiler.LaunchRecord`)."""
+        from ..obs.profiler import LaunchRecord
+        return LaunchRecord.from_result(self)
+
+    def summary(self) -> str:
+        """One-line nvprof-style digest: kernel, geometry, executor,
+        block accounting, modeled GFLOPS and the binding bottleneck."""
+        return self.profile().digest()
+
+    def __repr__(self) -> str:
+        try:
+            return f"<LaunchResult {self.summary()}>"
+        except Exception:       # half-built results in tests/debugging
+            return (f"<LaunchResult kernel={self.kernel.name!r} "
+                    f"grid={self.grid} block={self.block}>")
 
 
 def launch(

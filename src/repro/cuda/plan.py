@@ -30,11 +30,13 @@ it is now three explicit layers:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from ..arch.device import DeviceSpec
+from ..obs.spans import span
 from ..sim.memsys import DirectMappedCache
 from ..trace.trace import KernelTrace
 from .dim3 import Dim3, DimLike, as_dim3
@@ -109,6 +111,8 @@ class LaunchPlan:
     memoize: bool = False
     traced: Tuple[int, ...] = ()
     caches: Dict[str, DirectMappedCache] = field(default_factory=dict)
+    #: wall time spent in :meth:`build` (the pipeline's "plan" stage)
+    build_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         self._traced_set = frozenset(self.traced)
@@ -130,25 +134,32 @@ class LaunchPlan:
         record_stream: bool = False,
         memoize: bool = False,
     ) -> "LaunchPlan":
-        device = device if device is not None else Device()
-        spec = device.spec
-        grid = as_dim3(grid)
-        block = as_dim3(block)
-        validate_launch(spec, grid, block)
-        if not functional and not trace:
-            raise CudaModelError(
-                "launch(functional=False, trace=False) would execute zero "
-                "blocks and return an empty trace; enable tracing or run "
-                "functionally")
-        traced = tuple(sample_blocks(grid, trace_blocks)) if trace else ()
-        caches = {
-            "const": DirectMappedCache(spec.constant_cache_bytes_per_sm),
-            "tex": DirectMappedCache(spec.texture_cache_bytes_per_sm),
-        }
-        return cls(kernel=kern, grid=grid, block=block, args=args,
-                   device=device, functional=functional, trace_enabled=trace,
-                   trace_blocks=trace_blocks, record_stream=record_stream,
-                   memoize=memoize, traced=traced, caches=caches)
+        t0 = perf_counter()
+        with span("plan.build", kernel=kern.name):
+            device = device if device is not None else Device()
+            spec = device.spec
+            grid = as_dim3(grid)
+            block = as_dim3(block)
+            validate_launch(spec, grid, block)
+            if not functional and not trace:
+                raise CudaModelError(
+                    "launch(functional=False, trace=False) would execute "
+                    "zero blocks and return an empty trace; enable tracing "
+                    "or run functionally")
+            traced = tuple(sample_blocks(grid, trace_blocks)) if trace else ()
+            caches = {
+                "const": DirectMappedCache(spec.constant_cache_bytes_per_sm,
+                                           space="const"),
+                "tex": DirectMappedCache(spec.texture_cache_bytes_per_sm,
+                                         space="tex"),
+            }
+            plan = cls(kernel=kern, grid=grid, block=block, args=args,
+                       device=device, functional=functional,
+                       trace_enabled=trace, trace_blocks=trace_blocks,
+                       record_stream=record_stream, memoize=memoize,
+                       traced=traced, caches=caches)
+        plan.build_seconds = perf_counter() - t0
+        return plan
 
     # ------------------------------------------------------------------
     # Geometry / sample queries

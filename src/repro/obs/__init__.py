@@ -1,0 +1,60 @@
+"""Observability: metrics, spans and the nvprof-style launch profiler.
+
+The paper explains every performance number by attributing it to
+counters — global loads per thread, FMA issue fraction, bank-conflict
+serialization, the Table 3 bottleneck verdict.  This package gives the
+reproduction's own pipeline the same treatment:
+
+* :mod:`repro.obs.registry` — process-wide but injectable
+  :class:`MetricsRegistry` of labeled counters/gauges/histograms, with
+  snapshot/merge fan-in for :class:`ProcessPoolExecutor` workers;
+* :mod:`repro.obs.spans` — nested wall-clock span tracing exporting
+  Chrome ``chrome://tracing`` JSON and a plain-text tree;
+* :mod:`repro.obs.profiler` — the :class:`LaunchProfiler`, capturing
+  one structured :class:`LaunchRecord` per kernel launch.
+
+Everything is **off by default**: the ambient registry and tracer are
+disabled, and every instrumentation point in the pipeline reduces to a
+single attribute check until a :class:`LaunchProfiler` (or an explicit
+:func:`set_registry` / :func:`set_tracer`) turns them on.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .spans import (
+    Span,
+    SpanTracer,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+)
+from .profiler import LaunchProfiler, LaunchRecord, active_profiler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "Span",
+    "SpanTracer",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "use_tracer",
+    "LaunchProfiler",
+    "LaunchRecord",
+    "active_profiler",
+]

@@ -1,0 +1,262 @@
+"""An nvprof-style launch profiler for the execution pipeline.
+
+``nvprof``'s job in the paper's era was exactly what the reproduction
+needs of itself: per-launch attribution — which kernel, what geometry,
+how long each stage took, how many transactions each array cost, and
+*which resource bound the launch*.  A :class:`LaunchProfiler` hooks
+the staged pipeline (``LaunchPlan.build`` → executor → collector →
+timing model) and captures one :class:`LaunchRecord` per launch:
+
+* identity: kernel name, grid/block geometry, chosen executor backend;
+* block accounting: executed / traced / memo-hit / plain dispositions;
+* per-stage wall time (plan / execute / collect / finalize);
+* trace-derived counters: warp instructions, flops, per-array
+  transactions-per-access, bank-conflict cycles, cache hits;
+* the timing model's per-bottleneck estimates with the binding
+  bottleneck named (the paper's Table 3 verdict, per launch).
+
+Usage::
+
+    from repro.obs import LaunchProfiler
+
+    with LaunchProfiler() as prof:
+        app.run(workload)
+    print(prof.report())             # nvprof-like table
+    prof.records[0].to_dict()        # structured record
+    prof.tracer.write_chrome_trace("trace.json")
+
+Entering the profiler installs an *enabled* metrics registry and span
+tracer as the ambient ones, so pipeline counters (cache hits, executor
+block counts, bottleneck tallies) flow in for the duration.  With no
+profiler active the instrumentation points reduce to an attribute
+check — launches pay nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .registry import MetricsRegistry, set_registry
+from .spans import SpanTracer, set_tracer
+
+__all__ = ["LaunchProfiler", "LaunchRecord", "active_profiler"]
+
+#: pipeline stages a launch record times, in order
+STAGES = ("plan", "execute", "collect", "finalize")
+
+
+def _dim_str(dim) -> str:
+    """Compact ``Dim3`` rendering: (32, 32, 1) -> "32x32"."""
+    parts = [dim.x, dim.y, dim.z]
+    while len(parts) > 1 and parts[-1] == 1:
+        parts.pop()
+    return "x".join(str(p) for p in parts)
+
+
+@dataclass
+class LaunchRecord:
+    """Everything the profiler knows about one kernel launch."""
+
+    kernel: str
+    grid: str
+    block: str
+    executor: str
+    blocks_total: int
+    blocks_executed: int
+    blocks_traced: int
+    memo_hits: int
+    dispositions: Dict[str, int] = field(default_factory=dict)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    # trace-derived counters (scaled to the full grid)
+    warp_insts: float = 0.0
+    flops: float = 0.0
+    global_transactions: float = 0.0
+    global_warp_accesses: float = 0.0
+    global_bus_bytes: float = 0.0
+    transactions_per_access: Dict[str, float] = field(default_factory=dict)
+    bank_conflict_cycles: float = 0.0
+    cache: Dict[str, float] = field(default_factory=dict)
+    syncs: float = 0.0
+
+    # timing-model attribution
+    model_seconds: float = 0.0
+    gflops: float = 0.0
+    bound: str = "n/a"
+    bottleneck_seconds: Dict[str, float] = field(default_factory=dict)
+    bottleneck_cycles: Dict[str, float] = field(default_factory=dict)
+    occupancy: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(cls, result, estimate: bool = True) -> "LaunchRecord":
+        """Build a record from an executed
+        :class:`~repro.cuda.launch.LaunchResult`."""
+        trace = result.trace
+        per_array = {name: round(stats.transactions_per_access, 4)
+                     for name, stats in sorted(trace.per_array.items())}
+        rec = cls(
+            kernel=result.kernel.name,
+            grid=_dim_str(result.grid),
+            block=_dim_str(result.block),
+            executor=result.executor,
+            blocks_total=result.num_blocks,
+            blocks_executed=result.blocks_executed,
+            blocks_traced=result.blocks_traced,
+            memo_hits=result.memo_hits,
+            dispositions=dict(result.block_dispositions),
+            stage_seconds=dict(result.stage_seconds),
+            warp_insts=trace.total_warp_insts,
+            flops=trace.flops,
+            global_transactions=trace.global_transactions,
+            global_warp_accesses=sum(s.warp_accesses
+                                     for s in trace.per_array.values()),
+            global_bus_bytes=trace.global_bus_bytes,
+            transactions_per_access=per_array,
+            bank_conflict_cycles=trace.shared_conflict_cycles,
+            cache={"const_hits": trace.const_hits,
+                   "const_misses": trace.const_misses,
+                   "tex_hits": trace.tex_hits,
+                   "tex_misses": trace.tex_misses},
+            syncs=trace.syncs,
+        )
+        if estimate and trace.total_warp_insts > 0:
+            try:
+                est = result.estimate()
+            except Exception as exc:        # unschedulable configs etc.
+                rec.bound = f"unschedulable ({type(exc).__name__})"
+            else:
+                rec.model_seconds = est.seconds
+                rec.gflops = est.gflops
+                rec.bound = est.bound
+                rec.bottleneck_seconds = est.components()
+                rec.bottleneck_cycles = est.cycles_components()
+                rec.occupancy = est.occupancy.describe()
+        return rec
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def wall_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    @property
+    def overall_transactions_per_access(self) -> float:
+        """Launch-wide transactions per half-warp access (1.0 = every
+        access perfectly coalesced on the G80)."""
+        if self.global_warp_accesses == 0:
+            return 0.0
+        return self.global_transactions / self.global_warp_accesses
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready structured record."""
+        return {
+            "kernel": self.kernel,
+            "grid": self.grid,
+            "block": self.block,
+            "executor": self.executor,
+            "blocks": {
+                "total": self.blocks_total,
+                "executed": self.blocks_executed,
+                "traced": self.blocks_traced,
+                "memo_hits": self.memo_hits,
+                "dispositions": dict(self.dispositions),
+            },
+            "stage_seconds": {s: self.stage_seconds.get(s, 0.0)
+                              for s in STAGES},
+            "wall_seconds": self.wall_seconds,
+            "counters": {
+                "warp_insts": self.warp_insts,
+                "flops": self.flops,
+                "global_transactions": self.global_transactions,
+                "global_warp_accesses": self.global_warp_accesses,
+                "global_bus_bytes": self.global_bus_bytes,
+                "bank_conflict_cycles": self.bank_conflict_cycles,
+                "syncs": self.syncs,
+                **self.cache,
+            },
+            "transactions_per_access": dict(self.transactions_per_access),
+            "model": {
+                "seconds": self.model_seconds,
+                "gflops": round(self.gflops, 3),
+                "bound": self.bound,
+                "bottleneck_seconds": dict(self.bottleneck_seconds),
+                "bottleneck_cycles": dict(self.bottleneck_cycles),
+            },
+            "occupancy": {str(k): v for k, v in self.occupancy.items()},
+        }
+
+    def digest(self) -> str:
+        """The one-line nvprof-style summary."""
+        return (f"{self.kernel}  grid {self.grid}  block {self.block}  "
+                f"exec={self.executor}  blocks {self.blocks_executed}"
+                f"/{self.blocks_total} (traced {self.blocks_traced}, "
+                f"memo {self.memo_hits})  {self.gflops:.2f} GFLOPS  "
+                f"bound={self.bound}")
+
+
+#: stack of entered profilers; the innermost one receives records
+_PROFILERS: List["LaunchProfiler"] = []
+
+
+def active_profiler() -> Optional["LaunchProfiler"]:
+    """The innermost entered :class:`LaunchProfiler`, if any."""
+    return _PROFILERS[-1] if _PROFILERS else None
+
+
+class LaunchProfiler:
+    """Context manager capturing a :class:`LaunchRecord` per launch.
+
+    Parameters
+    ----------
+    registry, tracer:
+        Pre-built sinks to install while active; fresh enabled ones are
+        created by default.
+    estimate:
+        Run the analytical timing model on each launch to attribute its
+        bottleneck (disable for functional-only workloads).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[SpanTracer] = None,
+                 estimate: bool = True) -> None:
+        self.registry = registry if registry is not None \
+            else MetricsRegistry(enabled=True)
+        self.tracer = tracer if tracer is not None \
+            else SpanTracer(enabled=True)
+        self.estimate = estimate
+        self.records: List[LaunchRecord] = []
+
+    def __enter__(self) -> "LaunchProfiler":
+        self._prev_registry = set_registry(self.registry)
+        self._prev_tracer = set_tracer(self.tracer)
+        _PROFILERS.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _PROFILERS.remove(self)
+        set_registry(self._prev_registry)
+        set_tracer(self._prev_tracer)
+
+    # ------------------------------------------------------------------
+    # Pipeline hook (called by Executor.execute)
+    # ------------------------------------------------------------------
+    def on_launch(self, result) -> LaunchRecord:
+        record = LaunchRecord.from_result(result, estimate=self.estimate)
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """nvprof-like text table over the captured records."""
+        from ..bench.profile_report import format_records
+        return format_records(self.records)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [r.to_dict() for r in self.records]

@@ -34,6 +34,7 @@ from typing import Iterable, List, Tuple
 import numpy as np
 
 from ..arch.device import DeviceSpec, DEFAULT_DEVICE
+from ..obs.registry import get_registry
 
 
 @dataclass(frozen=True)
@@ -231,12 +232,15 @@ class DirectMappedCache:
     the hit-rate distinction that matters for the timing model.
     """
 
-    def __init__(self, capacity_bytes: int, line_bytes: int = 32) -> None:
+    def __init__(self, capacity_bytes: int, line_bytes: int = 32,
+                 space: str = "cache") -> None:
         if capacity_bytes % line_bytes:
             raise ValueError("capacity must be a multiple of the line size")
         self.line_bytes = line_bytes
         self.num_lines = capacity_bytes // line_bytes
         self.tags = np.full(self.num_lines, -1, dtype=np.int64)
+        #: label under which hit/miss counters are published
+        self.space = space
         self.hits = 0
         self.misses = 0
 
@@ -259,6 +263,14 @@ class DirectMappedCache:
                 misses += 1
         self.hits += hits
         self.misses += misses
+        registry = get_registry()
+        if registry.enabled:
+            if hits:
+                registry.counter("memsys.cache_hits",
+                                 space=self.space).inc(hits)
+            if misses:
+                registry.counter("memsys.cache_misses",
+                                 space=self.space).inc(misses)
         return hits, misses
 
     @property

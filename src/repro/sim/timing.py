@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional
 
 from ..arch.device import DeviceSpec, DEFAULT_DEVICE
+from ..obs.registry import get_registry
 from ..trace.trace import KernelTrace
 from .occupancy import Occupancy, compute_occupancy
 
@@ -77,6 +78,25 @@ class KernelTimeEstimate:
             "SFU throughput": self.sfu_seconds,
             "memory bandwidth": self.bandwidth_seconds,
             "memory latency": self.latency_seconds,
+        }
+
+    def cycles_components(self) -> Dict[str, float]:
+        """Per-bottleneck estimates in SP clock cycles — the unit the
+        paper's Table 3 reasoning works in."""
+        clock = self.occupancy.spec.sp_clock_ghz * 1e9
+        return {name: seconds * clock
+                for name, seconds in self.components().items()}
+
+    def attribution(self) -> Dict[str, object]:
+        """Structured bottleneck-attribution record for the profiler:
+        the binding bottleneck plus every component in seconds and
+        cycles."""
+        return {
+            "bound": self.bound,
+            "seconds": self.components(),
+            "cycles": self.cycles_components(),
+            "launch_overhead_seconds": self.launch_overhead_seconds,
+            "gflops": self.gflops,
         }
 
 
@@ -165,6 +185,12 @@ def estimate_time(
     if bound in ("instruction issue", "memory latency") \
             and replay_seconds > 0.5 * issue_seconds:
         bound = "memory bandwidth"
+
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("timing.bound", bound=bound).inc()
+        registry.histogram("timing.model_seconds", bound=bound) \
+            .observe(seconds)
 
     return KernelTimeEstimate(
         seconds=seconds,

@@ -24,8 +24,10 @@ touch the merge/scale/memo machinery directly.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.registry import get_registry
 from .trace import KernelTrace
 
 #: block dispositions returned by :meth:`TraceCollector.classify`
@@ -33,9 +35,15 @@ TRACE, MEMO, PLAIN = "trace", "memo", "plain"
 
 
 class TraceCollector:
-    """Accumulates one launch's trace from per-block executions."""
+    """Accumulates one launch's trace from per-block executions.
 
-    def __init__(self, plan) -> None:
+    With ``timed=True`` (set by the executor when a profiler or
+    metrics registry is active) the collector accumulates the wall
+    time of its own bookkeeping in :attr:`collect_seconds`, giving the
+    pipeline's "collect" stage; untimed collectors pay nothing.
+    """
+
+    def __init__(self, plan, timed: bool = False) -> None:
         self.plan = plan
         self.merged = KernelTrace()
         self.smem_bytes = plan.kernel.static_smem_bytes
@@ -43,6 +51,12 @@ class TraceCollector:
         self.first_traced: Optional[int] = min(plan.traced) if plan.traced \
             else None
         self.memo_hits = 0
+        #: classify() outcomes per disposition
+        self.dispositions: Dict[str, int] = {TRACE: 0, MEMO: 0, PLAIN: 0}
+        #: wall seconds spent in collector bookkeeping (timed only)
+        self.collect_seconds = 0.0
+        self._timed = timed
+        self._registry = get_registry()
         self._memo: Dict[Tuple, Tuple[KernelTrace, int]] = {}
 
     # ------------------------------------------------------------------
@@ -57,6 +71,16 @@ class TraceCollector:
         ``MEMO`` (trace satisfied from the memo cache — merged as a
         side effect; execute untraced iff the launch is functional) or
         ``PLAIN`` (untraced functional block)."""
+        if self._timed:
+            t0 = perf_counter()
+            mode = self._classify(linear)
+            self.collect_seconds += perf_counter() - t0
+        else:
+            mode = self._classify(linear)
+        self.dispositions[mode] += 1
+        return mode
+
+    def _classify(self, linear: int) -> str:
         if linear not in self.plan.traced_set:
             return PLAIN
         if self.plan.memoize and not self.wants_stream(linear):
@@ -66,6 +90,10 @@ class TraceCollector:
                 self.merged.merge(trace)
                 self.smem_bytes = max(self.smem_bytes, smem)
                 self.memo_hits += 1
+                if self._registry.enabled:
+                    self._registry.counter(
+                        "collector.memo_hits",
+                        kernel=self.plan.kernel.name).inc()
                 return MEMO
         return TRACE
 
@@ -76,6 +104,14 @@ class TraceCollector:
 
     def finish_block(self, linear: int, ctx) -> None:
         """Fold one traced block's context back into the launch trace."""
+        if self._timed:
+            t0 = perf_counter()
+            self._finish_block(linear, ctx)
+            self.collect_seconds += perf_counter() - t0
+        else:
+            self._finish_block(linear, ctx)
+
+    def _finish_block(self, linear: int, ctx) -> None:
         ctx.trace.blocks_traced = 1
         ctx.trace.threads_traced = self.plan.block.size
         block_smem = ctx.smem_bytes + self.plan.kernel.static_smem_bytes
