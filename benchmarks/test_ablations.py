@@ -7,7 +7,6 @@
 * matmul: unroll-factor sweep (Section 4.3 discusses partial factors).
 """
 
-from collections import Counter
 
 from conftest import run_once
 from repro.apps import get_app

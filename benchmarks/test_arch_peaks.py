@@ -3,7 +3,7 @@
 import pytest
 
 from conftest import run_once
-from repro.arch import DEFAULT_DEVICE, geforce_8800_gtx
+from repro.arch import geforce_8800_gtx
 
 
 def test_peak_rates(benchmark):

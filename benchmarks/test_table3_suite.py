@@ -33,5 +33,4 @@ def test_table3_suite(benchmark, record_table):
         assert kernel[slow] < 40
 
     # H.264: transfers comparable to GPU execution; tiny app speedup
-    h264 = rows["h264"]
     assert app["h264"] < 1.6

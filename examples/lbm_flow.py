@@ -28,7 +28,7 @@ def main():
     np.testing.assert_allclose(f, ref, rtol=1e-3, atol=1e-4)
     mass0 = lbm_reference(64, 32, 0).sum()
     print("D2Q9 lattice-Boltzmann, 64x32 torus, 8 steps")
-    print(f"  matches NumPy reference: OK")
+    print("  matches NumPy reference: OK")
     print(f"  mass conservation: initial {mass0:.3f}, "
           f"final {f.sum():.3f} "
           f"(drift {abs(f.sum() - mass0) / mass0:.2e})")

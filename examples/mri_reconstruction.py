@@ -10,8 +10,6 @@ of the speedup").
 Run:  python examples/mri_reconstruction.py
 """
 
-import numpy as np
-
 from repro.apps import get_app
 from repro.sim.timing import estimate_time
 from repro.trace.instr import InstrClass

@@ -1,0 +1,34 @@
+"""Static kernel analysis: AST/abstract-interpretation hazard linter.
+
+The analyzer executes a kernel's Python source symbolically — concrete
+lane vectors for thread identities, opaque symbolic values for data —
+and checks the recorded event stream against the paper's optimization
+rules: barrier safety (Section 5.1), global-memory coalescing
+(Sections 3.2/4.1), shared-memory bank conflicts (Section 5.1),
+register/shared occupancy (Section 4.2) and batched-execution safety.
+
+Entry points:
+
+* :func:`analyze_target` — analyze one :class:`LintTarget`.
+* ``python -m repro.analysis.lint`` — lint registered applications.
+* ``python -m repro.analysis.validate`` — cross-validate static
+  verdicts against dynamic trace counters.
+"""
+
+from .findings import AccessSummary, Finding, KernelReport, Severity
+from .rules import analyze_target, sample_coords
+from .targets import LintArray, LintTarget, carr, garr, tarr
+
+__all__ = [
+    "AccessSummary",
+    "Finding",
+    "KernelReport",
+    "LintArray",
+    "LintTarget",
+    "Severity",
+    "analyze_target",
+    "carr",
+    "garr",
+    "sample_coords",
+    "tarr",
+]

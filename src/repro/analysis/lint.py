@@ -1,0 +1,114 @@
+"""Lint CLI: run the static kernel analyzer over registered apps.
+
+Usage::
+
+    python -m repro.analysis.lint                  # whole suite
+    python -m repro.analysis.lint matmul lbm       # selected apps
+    python -m repro.analysis.lint --json           # machine-readable
+    python -m repro.analysis.lint --fail-on high   # CI gate
+
+Each application contributes the representative launch geometries it
+declares via :meth:`repro.apps.base.Application.lint_targets`; every
+target is symbolically executed (:mod:`repro.analysis.interp`) and
+scored by the hazard rules (:mod:`repro.analysis.rules`).  With
+``--fail-on SEVERITY`` the process exits non-zero when any finding at
+or above that severity is emitted — the repository gates CI on
+``high`` (correctness hazards) and keeps ``medium``/``info``
+advisory, since several shipped kernels intentionally exhibit the
+paper's uncoalesced baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from ..arch.device import DEFAULT_DEVICE, DeviceSpec
+from .findings import KernelReport, Severity
+from .rules import analyze_target
+
+
+def lint_app(name: str, spec: DeviceSpec = DEFAULT_DEVICE
+             ) -> List[KernelReport]:
+    """Analyze every lint target one application declares."""
+    from ..apps.registry import get_app
+    app = get_app(name, spec)
+    return [analyze_target(target, app=name, spec=spec)
+            for target in app.lint_targets()]
+
+
+def lint_apps(names: Optional[Sequence[str]] = None,
+              spec: DeviceSpec = DEFAULT_DEVICE) -> List[KernelReport]:
+    """Analyze several applications (default: all registered)."""
+    from ..apps.registry import app_names
+    reports: List[KernelReport] = []
+    for name in (names if names else app_names()):
+        reports.extend(lint_app(name, spec))
+    return reports
+
+
+def _format_report(report: KernelReport) -> str:
+    occ = report.occupancy or {}
+    lines = [
+        f"{report.app}/{report.label}: grid={report.grid} "
+        f"block={report.block} regs={report.regs_declared} "
+        f"smem={report.smem_bytes}B "
+        f"occupancy={occ.get('occupancy', 0.0):.2f} "
+        f"(limiter: {occ.get('limited by', '?')})"
+    ]
+    for acc in report.accesses:
+        verdict = acc.pattern
+        if acc.space == "shared" and acc.conflict_degree is not None:
+            verdict += f", {acc.conflict_degree}-way banks"
+        elif acc.coalesced is True:
+            verdict += ", coalesced"
+        elif acc.coalesced is False:
+            verdict += ", uncoalesced"
+        lines.append(f"    {acc.space:6s} {acc.array:12s} {verdict}")
+    for f in report.findings:
+        lines.append("    " + f.format())
+    if not report.findings:
+        lines.append("    clean")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="static hazard analysis of the suite's kernels")
+    parser.add_argument("apps", nargs="*",
+                        help="application names (default: all registered)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit reports as JSON")
+    parser.add_argument("--fail-on", metavar="SEVERITY", default=None,
+                        help="exit 1 if any finding is at or above this "
+                             "severity (info|medium|high)")
+    args = parser.parse_args(argv)
+
+    threshold = Severity.parse(args.fail_on) if args.fail_on else None
+    reports = lint_apps(args.apps or None)
+
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(_format_report(report))
+        totals = {s: sum(r.count(s) for r in reports) for s in Severity}
+        print(f"{len(reports)} kernels: "
+              + ", ".join(f"{totals[s]} {s}" for s in
+                          (Severity.HIGH, Severity.MEDIUM, Severity.INFO)))
+
+    if threshold is not None:
+        worst = [f for r in reports for f in r.findings
+                 if f.severity >= threshold]
+        if worst:
+            print(f"FAIL: {len(worst)} finding(s) at or above "
+                  f"{threshold}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,402 @@
+"""Hazard rules: replay a kernel's event stream into typed findings.
+
+Each rule is a pure function over the event list one sample block
+produced (:mod:`repro.analysis.interp`); :func:`analyze_target` runs
+the interpreter for up to three representative block coordinates
+(first, middle, last in grid-linear order), applies every rule, and
+merges the results into one :class:`KernelReport`.
+
+The rules mirror the paper's optimization checklist:
+
+* **R1 barriers** — ``__syncthreads`` under divergent control flow,
+  and shared-memory store→load pairs with no intervening barrier
+  whose lanes can alias (Section 5.1 / correctness).
+* **R2 coalescing** — global-memory index shape per half-warp against
+  the 16-word segment rule (Section 3.2 / 4.1).
+* **R3 shared memory** — bank-conflict degree mod 16 (Section 5.1)
+  and static bounds violations; constant reads with a varying index
+  (serialized broadcast).
+* **R4 resources** — occupancy from register/shared pressure, cliff
+  and low-occupancy advisories (Section 4.2).
+* **R5 batch safety** — constructs that break the
+  ``BatchedExecutor``'s all-blocks-at-once widening, cross-checked
+  against the kernel's declared ``batchable`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..arch.device import DEFAULT_DEVICE, DeviceSpec
+from ..cuda.dim3 import as_dim3
+from ..sim.occupancy import compute_occupancy
+from .findings import AccessSummary, Finding, KernelReport, Severity
+from .interp import HazardEvent, MemEvent, SyncEvent, interpret
+from .symbolic import (
+    classify_global,
+    classify_shared,
+    cross_lane_disjoint,
+    is_varying,
+)
+from .targets import LintTarget
+
+_PATTERN_RANK = ("coalesced", "broadcast", "data-dependent", "misaligned",
+                 "strided", "irregular")
+
+_HAZARD_LABELS = {
+    "scalar-coerce": "block-varying scalar coerced to a host scalar",
+    "scalar-range": "Python loop bound derived from block-varying state",
+    "python-if-coord": "Python branch on block coordinates",
+    "nthreads-index": "ctx.nthreads used in an access index",
+    "nthreads-shared-shape": "shared array sized by ctx.nthreads",
+    "shared-data": "raw .data access on a shared array",
+}
+
+
+def _rank(pattern: str) -> int:
+    base = pattern.split("(")[0]
+    return _PATTERN_RANK.index(base) if base in _PATTERN_RANK else 0
+
+
+def sample_coords(grid) -> List[Tuple[int, int, int]]:
+    """First, middle and last block in grid-linear order (deduped)."""
+    grid = as_dim3(grid)
+    total = grid.size
+    ids = sorted({0, total // 2, total - 1})
+    return [grid.unlinear(i) for i in ids]
+
+
+# ----------------------------------------------------------------------
+# R1: barriers — divergent sync and unsynchronized shared races
+# ----------------------------------------------------------------------
+
+def rule_barriers(events: List[object], nthreads: int,
+                  kernel: str) -> List[Finding]:
+    findings: List[Finding] = []
+    pending: Dict[str, List[MemEvent]] = {}
+    for ev in events:
+        if isinstance(ev, SyncEvent):
+            if ev.divergent:
+                findings.append(Finding(
+                    "divergent-sync", Severity.HIGH, kernel,
+                    "__syncthreads() reachable under divergent control "
+                    "flow (deadlocks on hardware)", ev.line))
+            pending.clear()
+        elif isinstance(ev, MemEvent) and ev.space == "shared":
+            if ev.op == "st":
+                pending.setdefault(ev.array, []).append(ev)
+            elif ev.op == "ld":
+                for st in pending.get(ev.array, ()):
+                    st_mask = st.mask if st.mask_exact else None
+                    ld_mask = ev.mask if ev.mask_exact else None
+                    if not cross_lane_disjoint(st.index, st_mask,
+                                               ev.index, ld_mask,
+                                               nthreads):
+                        findings.append(Finding(
+                            "shared-race", Severity.HIGH, kernel,
+                            f"shared {ev.array!r} read may observe "
+                            f"another lane's store (line {st.line}) with "
+                            f"no __syncthreads() between them", ev.line,
+                            array=ev.array))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# R2 / R3: memory access classification
+# ----------------------------------------------------------------------
+
+def rule_memory(events: List[object], nthreads: int, kernel: str,
+                spec: DeviceSpec,
+                ) -> Tuple[List[Finding], Dict[Tuple[str, str],
+                                               AccessSummary]]:
+    findings: List[Finding] = []
+    summaries: Dict[Tuple[str, str], AccessSummary] = {}
+    classified: set = set()
+    # one source line inside a Python loop produces many events — keep
+    # the *worst* verdict per site, then emit one finding for it
+    sites: Dict[Tuple[str, str, int], Dict[str, object]] = {}
+
+    def summarize(ev: MemEvent, pattern: str,
+                  coalesced: Optional[bool],
+                  degree: Optional[int] = None) -> None:
+        key = (ev.space, ev.array)
+        cur = summaries.get(key)
+        if cur is None:
+            summaries[key] = AccessSummary(
+                ev.array, ev.space, pattern, coalesced, degree, (ev.line,))
+            return
+        if _rank(pattern) > _rank(cur.pattern):
+            cur.pattern = pattern
+        if coalesced is False or cur.coalesced is False:
+            cur.coalesced = False
+        elif coalesced is None or cur.coalesced is None:
+            cur.coalesced = None
+        if degree is not None:
+            cur.conflict_degree = max(cur.conflict_degree or 1, degree)
+        if ev.line not in cur.sites:
+            cur.sites = tuple(sorted(cur.sites + (ev.line,)))
+
+    def worst_at(ev: MemEvent) -> Dict[str, object]:
+        site = (ev.space, ev.array, ev.line)
+        cur = sites.get(site)
+        if cur is None:
+            cur = sites[site] = {
+                "ev": ev, "pattern": "coalesced", "coalesced": True,
+                "degree": 1, "exact": False,
+            }
+        return cur
+
+    for ev in events:
+        if not isinstance(ev, MemEvent):
+            continue
+        site = (ev.space, ev.array, ev.line)
+        if ev.space == "global":
+            pattern, coalesced = classify_global(
+                ev.index, ev.mask, nthreads, ev.itemsize, spec)
+            summarize(ev, pattern, coalesced)
+            cur = worst_at(ev)
+            bad = pattern == "data-dependent" or coalesced is False
+            if bad and _rank(pattern) >= _rank(str(cur["pattern"])):
+                cur["pattern"] = pattern
+                cur["coalesced"] = coalesced
+                # MEDIUM only when some offending event has an exact mask
+                cur["exact"] = bool(cur["exact"]) or ev.mask_exact
+        elif ev.space == "shared":
+            pattern, degree = classify_shared(
+                ev.index, ev.mask, nthreads, ev.word_scale,
+                ev.word_offset, spec)
+            summarize(ev, pattern,
+                      None if degree is None else degree <= 1, degree)
+            if degree is not None and degree > 1:
+                cur = worst_at(ev)
+                cur["degree"] = max(int(cur["degree"]), degree)
+                cur["exact"] = bool(cur["exact"]) or ev.mask_exact
+        elif ev.space == "const":
+            varying = is_varying(ev.index)
+            summarize(ev, "varying" if varying else "uniform", None)
+            if varying and site not in classified:
+                classified.add(site)
+                findings.append(Finding(
+                    "coalescing", Severity.INFO, kernel,
+                    f"constant read from {ev.array!r} with a thread-"
+                    f"varying index: the constant cache broadcasts one "
+                    f"word per cycle, so divergent reads serialize",
+                    ev.line, array=ev.array))
+        else:   # tex: cached, no coalescing constraint to enforce
+            summarize(ev, "cached", None)
+
+        findings.extend(_bounds_check(ev, nthreads, kernel, classified))
+
+    for (space, array, line), cur in sorted(sites.items(),
+                                            key=lambda kv: kv[0][2]):
+        ev = cur["ev"]
+        severity = Severity.MEDIUM if cur["exact"] else Severity.INFO
+        qualifier = "" if cur["exact"] else " (under a data-dependent mask)"
+        if space == "global":
+            if cur["pattern"] == "data-dependent":
+                # a gather is a gather whatever the mask's provenance
+                findings.append(Finding(
+                    "coalescing", Severity.MEDIUM, kernel,
+                    f"data-dependent {ev.op} index on {array!r}: "
+                    f"cannot coalesce a gather/scatter (16-word segment "
+                    f"rule, Section 3.2)", line, array=array))
+            elif cur["coalesced"] is False:
+                findings.append(Finding(
+                    "coalescing", severity, kernel,
+                    f"uncoalesced {ev.op} on {array!r}: pattern "
+                    f"{cur['pattern']}{qualifier} — one transaction per "
+                    f"active thread instead of one per half-warp", line,
+                    array=array))
+        elif space == "shared" and int(cur["degree"]) > 1:
+            findings.append(Finding(
+                "bank-conflict", severity, kernel,
+                f"{cur['degree']}-way bank conflict on shared {array!r} "
+                f"(16 banks, word-interleaved; Section 5.1)",
+                line, array=array))
+    return findings, summaries
+
+
+def _bounds_check(ev: MemEvent, nthreads: int, kernel: str,
+                  classified: set) -> List[Finding]:
+    if ev.size is None or not ev.mask_exact:
+        return []
+    from .symbolic import as_sym
+    sym = as_sym(ev.index)
+    value = sym.concrete_value()
+    if value is None:
+        return []
+    lanes = np.broadcast_to(np.asarray(value, dtype=np.int64),
+                            (nthreads,))
+    active = np.asarray(ev.mask, dtype=bool) if ev.mask is not None \
+        else np.ones(nthreads, dtype=bool)
+    if not active.any():
+        return []
+    used = lanes[active[:lanes.shape[0]]] if lanes.shape[0] == \
+        active.shape[0] else lanes
+    lo, hi = int(used.min()), int(used.max())
+    if lo >= 0 and hi < ev.size:
+        return []
+    key = ("bounds", ev.array, ev.line)
+    if key in classified:
+        return []
+    classified.add(key)
+    return [Finding(
+        "bounds", Severity.HIGH, kernel,
+        f"static out-of-bounds {ev.op} on {ev.space} {ev.array!r}: "
+        f"indices span [{lo}, {hi}] vs size {ev.size}", ev.line,
+        array=ev.array)]
+
+
+# ----------------------------------------------------------------------
+# R4: occupancy
+# ----------------------------------------------------------------------
+
+def rule_occupancy(threads_per_block: int, regs: int, smem_bytes: int,
+                   kernel: str, spec: DeviceSpec,
+                   ) -> Tuple[List[Finding], Dict[str, object]]:
+    occ = compute_occupancy(threads_per_block, regs, smem_bytes, spec)
+    findings: List[Finding] = []
+    if occ.blocks_per_sm == 0:
+        findings.append(Finding(
+            "occupancy", Severity.HIGH, kernel,
+            f"launch cannot be scheduled: {threads_per_block} threads/"
+            f"block, {regs} regs/thread, {smem_bytes} B shared exceed "
+            f"the per-SM limits (limiter: {occ.limiter})"))
+        return findings, occ.describe()
+    cliff = compute_occupancy(threads_per_block, regs + 1, smem_bytes,
+                              spec)
+    if cliff.blocks_per_sm < occ.blocks_per_sm:
+        findings.append(Finding(
+            "occupancy", Severity.INFO, kernel,
+            f"occupancy cliff: one more register per thread drops "
+            f"blocks/SM from {occ.blocks_per_sm} to "
+            f"{cliff.blocks_per_sm} (Section 4.2)"))
+    if occ.occupancy < 1 / 3:
+        findings.append(Finding(
+            "occupancy", Severity.INFO, kernel,
+            f"low occupancy {occ.occupancy:.2f} "
+            f"({occ.active_threads_per_sm}/{spec.max_threads_per_sm} "
+            f"thread contexts; limiter: {occ.limiter})"))
+    return findings, occ.describe()
+
+
+# ----------------------------------------------------------------------
+# R5: batch safety
+# ----------------------------------------------------------------------
+
+def rule_batch_safety(hazards: List[HazardEvent], kernel: str,
+                      declared: Optional[bool]) -> List[Finding]:
+    findings: List[Finding] = []
+    kinds = sorted({h.kind for h in hazards})
+    if declared is None:
+        return findings
+    if declared and hazards:
+        seen = set()
+        for h in hazards:
+            if h.kind in seen:
+                continue
+            seen.add(h.kind)
+            findings.append(Finding(
+                "batch-safety", Severity.HIGH, kernel,
+                f"declared batchable=True but {h.detail}", h.line))
+    elif not declared and not hazards:
+        findings.append(Finding(
+            "batch-safety", Severity.MEDIUM, kernel,
+            "declared batchable=False but no construct that breaks "
+            "batched execution was found — flag may be stale"))
+    elif not declared and hazards:
+        labels = ", ".join(_HAZARD_LABELS.get(k, k) for k in kinds)
+        findings.append(Finding(
+            "batch-safety", Severity.INFO, kernel,
+            f"batchable=False is justified: {labels}"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def analyze_target(target: LintTarget, app: str = "",
+                   spec: DeviceSpec = DEFAULT_DEVICE) -> KernelReport:
+    """Run every rule against one lint target and merge the verdicts."""
+    kernel = target.kernel
+    name = getattr(kernel, "name", "<kernel>")
+    grid = as_dim3(tuple(target.grid))
+    block = as_dim3(tuple(target.block))
+    nthreads = block.size
+    declared = getattr(kernel, "batchable", None)
+    regs_declared = getattr(kernel, "regs_per_thread", 10)
+    static_smem = getattr(kernel, "static_smem_bytes", 0)
+
+    report = KernelReport(
+        kernel=name, app=app, grid=tuple(target.grid),
+        block=tuple(target.block), note=target.note,
+        threads_per_block=nthreads, regs_declared=regs_declared,
+        batchable_declared=declared)
+
+    seen_findings: set = set()
+    merged_access: Dict[Tuple[str, str], AccessSummary] = {}
+    hazards: List[HazardEvent] = []
+    hazard_keys: set = set()
+    smem_bytes = static_smem
+    regs_estimated = 0
+    notes: List[Tuple[int, str]] = []
+
+    def add(findings: List[Finding]) -> None:
+        for f in findings:
+            key = (f.rule, f.line, f.array, f.message)
+            if key not in seen_findings:
+                seen_findings.add(key)
+                report.findings.append(f)
+
+    for coord in sample_coords(grid):
+        recorder, ctx = interpret(target, coord, spec)
+        events = recorder.events
+        add(rule_barriers(events, nthreads, name))
+        mem_findings, summaries = rule_memory(events, nthreads, name,
+                                              spec)
+        add(mem_findings)
+        for key, summary in summaries.items():
+            cur = merged_access.get(key)
+            if cur is None:
+                merged_access[key] = summary
+                continue
+            if _rank(summary.pattern) > _rank(cur.pattern):
+                cur.pattern = summary.pattern
+            if summary.coalesced is False or cur.coalesced is False:
+                cur.coalesced = False
+            elif summary.coalesced is None or cur.coalesced is None:
+                cur.coalesced = None
+            if summary.conflict_degree is not None:
+                cur.conflict_degree = max(cur.conflict_degree or 1,
+                                          summary.conflict_degree)
+            cur.sites = tuple(sorted(set(cur.sites) | set(summary.sites)))
+        for ev in events:
+            if isinstance(ev, HazardEvent):
+                if (ev.kind, ev.line) not in hazard_keys:
+                    hazard_keys.add((ev.kind, ev.line))
+                    hazards.append(ev)
+        smem_bytes = max(smem_bytes, ctx.smem_bytes + static_smem)
+        regs_estimated = max(regs_estimated, recorder.live_regs_max)
+        for note in recorder.notes:
+            if note not in notes:
+                notes.append(note)
+
+    occ_findings, occ_desc = rule_occupancy(
+        nthreads, regs_declared, smem_bytes, name, spec)
+    add(occ_findings)
+    add(rule_batch_safety(hazards, name, declared))
+    add([Finding("analysis", Severity.INFO, name, message, line or None)
+         for line, message in notes])
+
+    report.accesses = sorted(merged_access.values(),
+                             key=lambda s: (s.space, s.array))
+    report.smem_bytes = smem_bytes
+    report.regs_estimated = regs_estimated
+    report.occupancy = occ_desc
+    report.batch_hazards = sorted({h.kind for h in hazards})
+    report.findings.sort(
+        key=lambda f: (-int(f.severity), f.line or 0, f.rule))
+    return report

@@ -1,0 +1,169 @@
+"""Cross-validate static analyzer verdicts against dynamic traces.
+
+The analyzer's value rests on its verdicts *agreeing with the
+simulator*: a statically "coalesced" array must show 1.0 transactions
+per half-warp access when the kernel actually runs, a "conflict-free"
+shared buffer must produce zero bank-conflict serialization cycles,
+and the occupancy the analyzer predicts from declared resources must
+match what :func:`repro.sim.occupancy.occupancy_for_launch` computes
+for the executed launch.
+
+This harness runs the Section 4 matmul ladder (naive → tiled →
+tiled_unrolled → prefetch) plus saxpy **twice** — once statically
+through :func:`repro.analysis.rules.analyze_target` and once
+dynamically under a :class:`repro.obs.LaunchProfiler` — and checks the
+verdicts pairwise::
+
+    python -m repro.analysis.validate            # human-readable
+    python -m repro.analysis.validate --json     # machine-readable
+
+Exit status is non-zero if any check disagrees; the test suite runs
+the same checks via :func:`validation_checks`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..arch.device import DEFAULT_DEVICE, DeviceSpec
+from ..obs import LaunchProfiler
+from ..sim.occupancy import occupancy_for_launch
+from .findings import KernelReport
+from .rules import analyze_target
+
+#: matmul variants in the paper's optimization order
+MATMUL_LADDER = ("naive", "tiled", "tiled_unrolled", "prefetch")
+
+
+@dataclass
+class Check:
+    """One static-vs-dynamic agreement check."""
+
+    kernel: str
+    check: str                # what was compared
+    static: object            # the analyzer's verdict
+    dynamic: object           # the simulator's measurement
+    ok: bool
+
+    def format(self) -> str:
+        mark = "ok  " if self.ok else "FAIL"
+        return (f"[{mark}] {self.kernel}: {self.check}: "
+                f"static={self.static} dynamic={self.dynamic}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kernel": self.kernel, "check": self.check,
+                "static": self.static, "dynamic": self.dynamic,
+                "ok": self.ok}
+
+
+def _coalescing_checks(report: KernelReport, record,
+                       tol: float = 1e-9) -> List[Check]:
+    """Per-array: static coalesced ⇔ dynamic transactions/access == 1."""
+    checks: List[Check] = []
+    for acc in report.accesses:
+        if acc.space != "global":
+            continue
+        tpa = record.transactions_per_access.get(acc.array)
+        if tpa is None or tpa == 0.0:   # array untouched in the trace
+            continue
+        if acc.coalesced is True:
+            ok = abs(tpa - 1.0) <= 1e-3
+            checks.append(Check(report.kernel,
+                                f"{acc.array} coalesced", True,
+                                f"tpa={tpa}", ok))
+        elif acc.coalesced is False:
+            checks.append(Check(report.kernel,
+                                f"{acc.array} uncoalesced ({acc.pattern})",
+                                False, f"tpa={tpa}", tpa > 1.0 + tol))
+        # coalesced is None (data-dependent verdict withheld): nothing
+        # definite to cross-check
+    return checks
+
+
+def _conflict_check(report: KernelReport, record) -> List[Check]:
+    """Static max bank-conflict degree ⇔ dynamic serialization cycles."""
+    degrees = [acc.conflict_degree or 1 for acc in report.accesses
+               if acc.space == "shared"]
+    if not degrees:
+        return []
+    worst = max(degrees)
+    cycles = record.bank_conflict_cycles
+    ok = (cycles == 0.0) if worst <= 1 else (cycles > 0.0)
+    return [Check(report.kernel, "bank conflicts",
+                  f"degree={worst}", f"cycles={cycles}", ok)]
+
+
+def _occupancy_check(report: KernelReport, result) -> List[Check]:
+    """Static resource-derived occupancy ⇔ executed-launch occupancy."""
+    dyn = occupancy_for_launch(result).describe()
+    sta = report.occupancy
+    keys = ("blocks/SM", "threads/SM", "occupancy", "limited by")
+    ok = all(sta.get(k) == dyn.get(k) for k in keys)
+    return [Check(report.kernel, "occupancy",
+                  {k: sta.get(k) for k in keys},
+                  {k: dyn.get(k) for k in keys}, ok)]
+
+
+def _validate_app(name: str, workloads: Sequence[Dict[str, object]],
+                  spec: DeviceSpec) -> List[Check]:
+    from ..apps.registry import get_app
+    app = get_app(name, spec)
+    targets = {t.note: t for t in app.lint_targets()}
+    checks: List[Check] = []
+    for workload in workloads:
+        note = str(workload.get("variant", ""))
+        target = targets.get(note)
+        if target is None:
+            raise KeyError(f"{name} has no lint target noted {note!r}")
+        report = analyze_target(target, app=name, spec=spec)
+        with LaunchProfiler(estimate=False) as prof:
+            run = app.run(dict(workload), functional=False)
+        result = run.launches[0]
+        record = prof.records[0]
+        assert record.kernel == report.kernel, \
+            f"profiler saw {record.kernel}, analyzer saw {report.kernel}"
+        checks.extend(_coalescing_checks(report, record))
+        checks.extend(_conflict_check(report, record))
+        checks.extend(_occupancy_check(report, result))
+    return checks
+
+
+def validation_checks(spec: DeviceSpec = DEFAULT_DEVICE) -> List[Check]:
+    """All static-vs-dynamic checks for the matmul ladder and saxpy."""
+    checks = _validate_app(
+        "matmul",
+        [{"n": 64, "variant": v, "tile": 16, "trace_blocks": 16}
+         for v in MATMUL_LADDER], spec)
+    checks.extend(_validate_app(
+        "saxpy",
+        [{"n": 4096, "a": 2.5, "iterations": 1, "trace_blocks": 16}],
+        spec))
+    return checks
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.validate",
+        description="cross-validate static verdicts against the "
+                    "simulator's dynamic trace counters")
+    parser.add_argument("--json", action="store_true",
+                        help="emit checks as JSON")
+    args = parser.parse_args(argv)
+
+    checks = validation_checks()
+    if args.json:
+        print(json.dumps([c.to_dict() for c in checks], indent=2))
+    else:
+        for check in checks:
+            print(check.format())
+        bad = sum(1 for c in checks if not c.ok)
+        print(f"{len(checks)} checks, {bad} disagreement(s)")
+    return 0 if all(c.ok for c in checks) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

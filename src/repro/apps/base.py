@@ -209,6 +209,14 @@ class Application(abc.ABC):
             functional: bool = True) -> AppRun:
         """Execute the ported kernels on the simulated device."""
 
+    def lint_targets(self) -> List["LintTarget"]:
+        """Representative kernel launches for the static analyzer
+        (:mod:`repro.analysis`).  Geometries should be small but
+        structurally faithful: same tile shapes, same index math, just
+        fewer blocks.  Apps that return ``[]`` are skipped by the
+        linter."""
+        return []
+
     # -- helpers --------------------------------------------------------
     def launch(self, kern, grid, block, args=(), executor=None,
                **kwargs) -> LaunchResult:

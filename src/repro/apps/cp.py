@@ -103,6 +103,16 @@ class CoulombicPotential(Application):
         pot = (q[None, None, :] / np.sqrt(dx * dx + dy * dy)).sum(axis=2)
         return {"potential": pot.astype(np.float32)}
 
+    def lint_targets(self):
+        from ..analysis.targets import LintTarget, carr, garr
+        w, h, natoms = 32, 32, 64
+        grid = (w // self.BLOCK[0], h // self.BLOCK[1])
+        return [LintTarget(
+            cp_kernel(), grid, self.BLOCK,
+            (carr("atom_x", natoms), carr("atom_y", natoms),
+             carr("atom_q", natoms), garr("grid_pot", w * h),
+             natoms, w, np.float32(0.1)))]
+
     def run(self, workload: Dict[str, object],
             device: Optional[Device] = None,
             functional: bool = True) -> AppRun:

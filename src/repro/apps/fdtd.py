@@ -126,6 +126,19 @@ class Fdtd(Application):
                                     int(workload["steps"]))
         return {"Ez": ez, "Hx": hx, "Hy": hy}
 
+    def lint_targets(self):
+        from ..analysis.targets import LintTarget, garr
+        nx, ny = 64, 32
+        grid = (nx // self.BLOCK[0], ny // self.BLOCK[1])
+        fields = (garr("ez", nx * ny), garr("hx", nx * ny),
+                  garr("hy", nx * ny))
+        return [
+            LintTarget(fdtd_h_kernel(), grid, self.BLOCK,
+                       fields + (nx, ny, 0.5, 0.5), note="h"),
+            LintTarget(fdtd_e_kernel(), grid, self.BLOCK,
+                       fields + (nx, ny, 0.5), note="e"),
+        ]
+
     def run(self, workload: Dict[str, object],
             device: Optional[Device] = None,
             functional: bool = True) -> AppRun:

@@ -128,6 +128,15 @@ class Fem(Application):
             x /= np.float32(max(np.abs(x).max(), 1e-20))  # power iteration
         return {"x": x}
 
+    def lint_targets(self):
+        from ..analysis.targets import LintTarget, garr
+        nrows, nnz = 512, 4096
+        return [LintTarget(
+            spmv_kernel(), (-(-nrows // self.BLOCK),), (self.BLOCK,),
+            (garr("rowptr", nrows + 1, "int32"),
+             garr("colidx", nnz, "int32"), garr("values", nnz),
+             garr("x", nrows), garr("y", nrows), nrows))]
+
     def run(self, workload: Dict[str, object],
             device: Optional[Device] = None,
             functional: bool = True) -> AppRun:

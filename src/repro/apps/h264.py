@@ -166,6 +166,16 @@ class H264(Application):
         sads, best = sad_reference(cur, ref)
         return {"best": best}
 
+    def lint_targets(self):
+        from ..analysis.targets import LintTarget, garr, tarr
+        w, h = 64, 48
+        mbs_x, mbs_y = w // MB, h // MB
+        return [LintTarget(
+            motion_search_kernel(), (mbs_x, mbs_y), (CAND * CAND,),
+            (garr("cur", w * h), tarr("ref_frame", w * h),
+             garr("sads", mbs_x * mbs_y * CAND * CAND),
+             garr("best_mv", mbs_x * mbs_y, "int32"), w, h))]
+
     def run(self, workload: Dict[str, object],
             device: Optional[Device] = None,
             functional: bool = True) -> AppRun:

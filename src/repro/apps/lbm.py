@@ -188,6 +188,20 @@ class Lbm(Application):
             return flat.reshape(ny * nx, Q).T.reshape(Q, ny, nx).copy()
         return flat.reshape(Q, ny, nx).copy()
 
+    def lint_targets(self):
+        from ..analysis.targets import LintTarget, garr, tarr
+        nx, ny = 32, 16
+        n = nx * ny * Q
+        targets = []
+        for layout in LAYOUTS:
+            f_in = tarr("f_in", n) if layout == "texture" \
+                else garr("f_in", n)
+            targets.append(LintTarget(
+                lbm_step_kernel(layout), (nx * ny // self.BLOCK,),
+                (self.BLOCK,), (f_in, garr("f_out", n), nx, ny, 1.25),
+                note=layout))
+        return targets
+
     def run(self, workload: Dict[str, object],
             device: Optional[Device] = None,
             functional: bool = True) -> AppRun:

@@ -44,7 +44,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..cuda import Device, DeviceArray, Kernel, LaunchResult, kernel
+from ..cuda import Device, DeviceArray, Kernel, kernel
 from ..sim.cpumodel import CpuCostParams
 from .base import Application, AppRun
 
@@ -260,6 +260,16 @@ class MatMul(Application):
         if functional:
             outputs["C"] = dev.from_device(d_c)[:n, :n]
         return self._finish(workload, [result], dev, outputs)
+
+    def lint_targets(self):
+        from ..analysis.targets import LintTarget, garr
+        n = 64
+        args = (garr("A", n * n), garr("B", n * n), garr("C", n * n), n)
+        return [
+            LintTarget(build_kernel(variant, 16), (n // 16, n // 16),
+                       (16, 16), args, note=variant)
+            for variant in VARIANTS
+        ]
 
     # -- the Figure 4 sweep ------------------------------------------------
     def figure4_configs(self) -> List[MatmulConfig]:

@@ -103,6 +103,16 @@ class MriFhd(Application):
         return {"FHd_r": out_r.astype(np.float32),
                 "FHd_i": out_i.astype(np.float32)}
 
+    def lint_targets(self):
+        from ..analysis.targets import LintTarget, carr, garr
+        nv, ns = 512, 96
+        return [LintTarget(
+            mri_fhd_kernel(), (-(-nv // self.BLOCK),), (self.BLOCK,),
+            (carr("kx", ns), carr("ky", ns), carr("kz", ns),
+             carr("dr", ns), carr("di", ns),
+             garr("x", nv), garr("y", nv), garr("z", nv),
+             garr("FHd_r", nv), garr("FHd_i", nv), ns))]
+
     def run(self, workload: Dict[str, object],
             device: Optional[Device] = None,
             functional: bool = True) -> AppRun:

@@ -105,6 +105,16 @@ class MriQ(Application):
         qi = (phi2[:, None] * np.sin(arg)).sum(axis=0)
         return {"Qr": qr.astype(np.float32), "Qi": qi.astype(np.float32)}
 
+    def lint_targets(self):
+        from ..analysis.targets import LintTarget, carr, garr
+        nv, ns = 512, 96
+        return [LintTarget(
+            mri_q_kernel(), (-(-nv // self.BLOCK),), (self.BLOCK,),
+            (carr("kx", ns), carr("ky", ns), carr("kz", ns),
+             carr("phi2", ns),
+             garr("x", nv), garr("y", nv), garr("z", nv),
+             garr("Qr", nv), garr("Qi", nv), ns))]
+
     def run(self, workload: Dict[str, object],
             device: Optional[Device] = None,
             functional: bool = True) -> AppRun:

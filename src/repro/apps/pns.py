@@ -136,6 +136,15 @@ class Pns(Application):
         return max(self.BLOCK, (budget // bytes_per_sim) // self.BLOCK
                    * self.BLOCK)
 
+    def lint_targets(self):
+        from ..analysis.targets import LintTarget, garr
+        nsims, places, steps = 512, 8, 16
+        return [LintTarget(
+            pns_kernel(places, steps), (-(-nsims // self.BLOCK),),
+            (self.BLOCK,),
+            (garr("marking", places * nsims, "int64"),
+             garr("summary", nsims, "int64"), nsims))]
+
     def run(self, workload: Dict[str, object],
             device: Optional[Device] = None,
             functional: bool = True) -> AppRun:

@@ -186,6 +186,19 @@ class Rc5(Application):
         hits = np.nonzero((x == ct[0][0]) & (y == ct[1][0]))[0]
         return {"found": np.array([hits[0] + 1], dtype=np.int64)}
 
+    def lint_targets(self):
+        from ..analysis.targets import LintTarget, garr
+        nkeys = 512
+        grid = -(-nkeys // self.BLOCK)
+        args = (garr("found", 1, "int64"), 0x11111111, 0x22222222,
+                self.PLAINTEXT[0], self.PLAINTEXT[1], nkeys)
+        return [
+            LintTarget(rc5_search_kernel(False), (grid,), (self.BLOCK,),
+                       args, note="emulated"),
+            LintTarget(rc5_search_kernel(True), (grid,), (self.BLOCK,),
+                       args, note="native"),
+        ]
+
     def run(self, workload: Dict[str, object],
             device: Optional[Device] = None,
             functional: bool = True) -> AppRun:

@@ -52,6 +52,11 @@ def suite_names() -> List[str]:
     return list(SUITE)
 
 
+def app_names() -> List[str]:
+    """Every registered application, matmul included."""
+    return list(ALL_APPS)
+
+
 def get_app(name: str, spec: DeviceSpec = DEFAULT_DEVICE) -> Application:
     """Instantiate an application by its paper name."""
     try:

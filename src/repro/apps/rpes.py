@@ -28,7 +28,7 @@ couple of divides per 4-float output, the profile that earns RPES its
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -243,6 +243,13 @@ class Rpes(Application):
         vals = [rpes_reference(self._batch_quartets(b))
                 for b in range(batches)]
         return {"integrals": np.concatenate(vals)}
+
+    def lint_targets(self):
+        from ..analysis.targets import LintTarget, carr, garr
+        ns = NSHELLS
+        return [LintTarget(
+            rpes_kernel(), (ns, ns), (self.BLOCK,),
+            (carr("shells", ns * 4), garr("out", ns ** 4), ns))]
 
     def run(self, workload: Dict[str, object],
             device: Optional[Device] = None,

@@ -76,6 +76,13 @@ class Saxpy(Application):
         return (rng.standard_normal(n, dtype=np.float32),
                 rng.standard_normal(n, dtype=np.float32))
 
+    def lint_targets(self):
+        from ..analysis.targets import LintTarget, garr
+        n = 4096
+        return [LintTarget(saxpy_kernel(), (n // self.BLOCK,),
+                           (self.BLOCK,),
+                           (garr("x", n), garr("y", n), 2.5, n))]
+
     def run(self, workload: Dict[str, object],
             device: Optional[Device] = None,
             functional: bool = True) -> AppRun:

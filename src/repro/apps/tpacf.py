@@ -195,6 +195,18 @@ class Tpacf(Application):
             "RR": histogram_pairs_reference(rand, rand, edges, True),
         }
 
+    def lint_targets(self):
+        from ..analysis.targets import LintTarget, carr, garr
+        n1, n2 = 192, 128
+        grid = -(-n1 // self.BLOCK)
+        return [LintTarget(
+            tpacf_kernel(), (grid,), (self.BLOCK,),
+            (garr("x1", n1), garr("y1", n1), garr("z1", n1),
+             garr("x2", n2), garr("y2", n2), garr("z2", n2),
+             carr("edges", NBINS),
+             garr("block_hists", grid * NBINS, "int32"),
+             n1, n2, self.CHUNK, True))]
+
     def _pass(self, dev, kern, p1, p2, edges_c, same_set, functional, tb):
         n1, n2 = len(p1), len(p2)
         d1 = [dev.to_device(p1[:, k].copy(), f"s1_{k}") for k in range(3)]

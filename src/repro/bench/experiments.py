@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..arch import DEFAULT_DEVICE, format_memory_table
+from ..arch import DEFAULT_DEVICE
 from ..apps.matmul import MatMul
 from ..apps.lbm import Lbm
 from ..apps.registry import get_app, suite_names

@@ -204,6 +204,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="print the wall-clock span tree")
     parser.add_argument("--metrics", action="store_true",
                         help="print the accumulated registry metrics")
+    parser.add_argument("--lint", action="store_true",
+                        help="append the static analyzer's findings for "
+                             "the app's kernels to the report")
     parser.add_argument("--overhead-gate", metavar="PCT", type=float,
                         default=None,
                         help="fail if profiling overhead exceeds PCT%% "
@@ -223,6 +226,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.overhead_gate is not None:
         overhead = measure_overhead()
 
+    lint_reports = None
+    if args.lint:
+        from ..analysis.lint import lint_app
+        lint_reports = lint_app(args.app)
+
     if args.chrome_trace:
         profiler.tracer.write_chrome_trace(args.chrome_trace)
 
@@ -235,11 +243,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         }
         if overhead is not None:
             payload["overhead"] = overhead
+        if lint_reports is not None:
+            payload["lint"] = [r.to_dict() for r in lint_reports]
         print(json.dumps(payload, indent=2, default=str))
     else:
         print(format_records(profiler.records,
                              title=f"launch profile: {args.app} "
                                    f"({args.scale} scale)"))
+        if lint_reports is not None:
+            print()
+            print("static analysis:")
+            for report in lint_reports:
+                for finding in report.findings:
+                    print("  " + finding.format())
+                if not report.findings:
+                    print(f"  {report.label}: clean")
         if args.metrics:
             print()
             print(format_metrics(profiler))

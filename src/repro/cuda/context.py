@@ -34,7 +34,8 @@ performance models consume (the paper's PTX-inspection methodology).
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -58,6 +59,81 @@ from .memory import (
 ArrayLike = Union[np.ndarray, float, int]
 
 
+# ----------------------------------------------------------------------
+# Rule metadata for the ctx.* vocabulary
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CtxOp:
+    """Static classification of one ``ctx.*`` operation.
+
+    The static analyzer (:mod:`repro.analysis`) drives its abstract
+    interpretation of kernel source from this table instead of
+    hard-coding the DSL surface: ``category`` decides how a call is
+    modeled (arithmetic, memory event, barrier, divergence, ...) and
+    ``result`` the kind of value it produces.  A new ctx method only
+    needs an entry here to become analyzable.
+    """
+
+    category: str   # farith | iarith | sfu | cvt | select | merge |
+    #                 global_ld | global_st | global_atomic |
+    #                 shared_ld | shared_st | const_ld | tex_ld |
+    #                 alloc | sync | masked | query | meta | identity
+    result: str = "none"   # float | int | value | bool | shared | ctx | none
+
+
+#: every public ``ctx`` method, classified for the static analyzer
+CTX_OPS: Dict[str, CtxOp] = {
+    # arithmetic (one warp instruction each)
+    "fma": CtxOp("farith", "float"),
+    "fadd": CtxOp("farith", "float"),
+    "fsub": CtxOp("farith", "float"),
+    "fmul": CtxOp("farith", "float"),
+    "fdiv": CtxOp("farith", "float"),
+    "fmin": CtxOp("farith", "float"),
+    "fmax": CtxOp("farith", "float"),
+    "iadd": CtxOp("iarith", "int"),
+    "isub": CtxOp("iarith", "int"),
+    "imul": CtxOp("iarith", "int"),
+    "iand": CtxOp("iarith", "int"),
+    "ior": CtxOp("iarith", "int"),
+    "ixor": CtxOp("iarith", "int"),
+    "ishl": CtxOp("iarith", "int"),
+    "ishr": CtxOp("iarith", "int"),
+    "cvt": CtxOp("cvt", "value"),
+    "select": CtxOp("select", "value"),
+    "merge": CtxOp("merge", "value"),
+    # SFU transcendentals
+    "sfu_sin": CtxOp("sfu", "float"),
+    "sfu_cos": CtxOp("sfu", "float"),
+    "sfu_rsqrt": CtxOp("sfu", "float"),
+    "sfu_sqrt": CtxOp("sfu", "float"),
+    "sfu_exp": CtxOp("sfu", "float"),
+    "sfu_log": CtxOp("sfu", "float"),
+    "sfu_rcp": CtxOp("sfu", "float"),
+    # memory spaces
+    "ld_global": CtxOp("global_ld", "value"),
+    "st_global": CtxOp("global_st"),
+    "atom_global_add": CtxOp("global_atomic"),
+    "ld_shared": CtxOp("shared_ld", "value"),
+    "st_shared": CtxOp("shared_st"),
+    "ld_const": CtxOp("const_ld", "value"),
+    "ld_tex": CtxOp("tex_ld", "value"),
+    "shared_alloc": CtxOp("alloc", "shared"),
+    # control
+    "sync": CtxOp("sync"),
+    "masked": CtxOp("masked", "ctx"),
+    "any_active": CtxOp("query", "bool"),
+    # bookkeeping the vectorized execution performs implicitly
+    "loop_tail": CtxOp("meta"),
+    "address_ops": CtxOp("meta"),
+    # thread-identity helpers (methods; the tx/ty/... attrs are data)
+    "global_tid_x": CtxOp("identity", "int"),
+    "global_tid_y": CtxOp("identity", "int"),
+    "global_tid": CtxOp("identity", "int"),
+}
+
+
 class BlockContext:
     """Execution context of one thread block (see module docstring)."""
 
@@ -70,11 +146,15 @@ class BlockContext:
         trace: Optional[KernelTrace] = None,
         caches: Optional[Dict[str, DirectMappedCache]] = None,
         stream: Optional[list] = None,
+        kernel_name: str = "",
     ) -> None:
         self.spec = spec
         self.gridDim = grid
         self.blockDim = block
         self.bx, self.by, self.bz = block_coord
+        #: name of the kernel this block belongs to; used to correlate
+        #: runtime CudaModelErrors with static-analyzer findings
+        self.kernel_name = kernel_name
 
         T = block.size
         tid = np.arange(T, dtype=np.int64)
@@ -98,6 +178,14 @@ class BlockContext:
         self._mask_stack: List[np.ndarray] = [np.ones(T, dtype=bool)]
         self._smem_words = 0
         self.shared_arrays: List[SharedArray] = []
+
+    def _where(self) -> str:
+        """Error-message prefix naming the kernel and block geometry so
+        runtime failures correlate with static-analyzer findings."""
+        name = self.kernel_name or "<kernel>"
+        b = self.blockDim
+        return (f"{name} [block {b.x}x{b.y}x{b.z}, "
+                f"blockIdx ({self.bx},{self.by},{self.bz})]")
 
     # ------------------------------------------------------------------
     # Thread identity helpers
@@ -331,8 +419,9 @@ class BlockContext:
         self._smem_words += max(1, arr.itemsize // 4) * arr.size
         if self.smem_bytes > self.spec.shared_mem_per_sm:
             raise CudaModelError(
-                f"shared memory overflow: block requests {self.smem_bytes} B "
-                f"> {self.spec.shared_mem_per_sm} B per SM")
+                f"{self._where()}: shared memory overflow: block requests "
+                f"{self.smem_bytes} B > {self.spec.shared_mem_per_sm} B "
+                f"per SM")
         self.shared_arrays.append(arr)
         return arr
 
@@ -368,7 +457,10 @@ class BlockContext:
         self._record_bank_conflicts(sh, idx, mask)
         vals = self._bc(value, sh.data.dtype)
         if idx[mask].size and (idx[mask].min() < 0 or idx[mask].max() >= sh.size):
-            raise CudaModelError(f"shared store out of bounds on {sh.name!r}")
+            raise CudaModelError(
+                f"{self._where()}: shared store out of bounds on "
+                f"{sh.name!r}: indices span [{int(idx[mask].min())}, "
+                f"{int(idx[mask].max())}] vs size {sh.size}")
         sh.data[idx[mask]] = vals[mask]
 
     def _record_bank_conflicts(self, sh: SharedArray, idx: np.ndarray,
@@ -514,5 +606,6 @@ class BlockContext:
         """
         if len(self._mask_stack) > 1 and not self.mask.all():
             raise CudaModelError(
-                "__syncthreads() inside divergent control flow")
+                f"{self._where()}: __syncthreads() inside divergent "
+                f"control flow")
         self._emit(InstrClass.SYNC)

@@ -186,7 +186,8 @@ class BatchedBlockContext(BlockContext):
         lin = np.asarray(linears, dtype=np.int64)
         block = plan.block
         super().__init__(plan.spec, plan.grid, block, (0, 0, 0),
-                         trace=None, caches=None, stream=None)
+                         trace=None, caches=None, stream=None,
+                         kernel_name=plan.kernel.name)
         nblocks = int(lin.shape[0])
         T = block.size
         reps = np.repeat(lin, T)
@@ -322,7 +323,8 @@ class _WriteLogContext(BlockContext):
     def __init__(self, plan, linear: int, log: list) -> None:
         super().__init__(plan.spec, plan.grid, plan.block,
                          plan.grid.unlinear(linear), trace=None,
-                         caches=None, stream=None)
+                         caches=None, stream=None,
+                         kernel_name=plan.kernel.name)
         self._log = log
 
     def st_global(self, arr, index, value) -> None:

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -202,7 +202,8 @@ class LaunchPlan:
         """A scalar (one-block) execution context for block ``linear``."""
         return BlockContext(
             self.spec, self.grid, self.block, self.grid.unlinear(linear),
-            trace=trace, caches=self.caches, stream=stream)
+            trace=trace, caches=self.caches, stream=stream,
+            kernel_name=self.kernel.name)
 
     def execute(self, executor=None) -> LaunchResult:
         """Run the plan: ``None`` selects the reference sequential

@@ -14,7 +14,7 @@ Tables 2/3 and the Figure 4 bar heights; see DESIGN.md):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 PROSE = "prose"
 RECONSTRUCTED = "reconstructed"

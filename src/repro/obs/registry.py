@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import contextlib
 import math
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Tuple
 
 __all__ = [
     "Counter",

@@ -20,7 +20,7 @@ import contextlib
 import json
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
 __all__ = ["Span", "SpanTracer", "span", "get_tracer", "set_tracer",
            "use_tracer"]

@@ -15,8 +15,8 @@ behind the paper's "11 registers -> 2 blocks/SM" cliff.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
 
 from ..arch.device import DeviceSpec, DEFAULT_DEVICE
 from ..sim.occupancy import Occupancy, compute_occupancy
@@ -118,6 +118,28 @@ class VariantDescriptor:
         if base.active_threads_per_sm == 0:
             return 0.0
         return 1.0 - now.active_threads_per_sm / base.active_threads_per_sm
+
+
+def descriptor_from_report(report, passes: Tuple[str, ...] = ()
+                           ) -> VariantDescriptor:
+    """Seed a variant space from a static-analysis report.
+
+    The analyzer (:func:`repro.analysis.analyze_target`) measures the
+    base resource profile — declared registers, threads per block and
+    the shared-memory footprint it metered while symbolically executing
+    the kernel — which is exactly a :class:`VariantDescriptor` base.
+    ``passes`` names entries of :data:`OPTIMIZATION_PASSES` to apply on
+    top, so "what would prefetching do to this kernel's occupancy?"
+    becomes one call."""
+    desc = VariantDescriptor(
+        base_name=report.kernel,
+        base_regs=report.regs_declared,
+        threads_per_block=report.threads_per_block,
+        base_smem_bytes=report.smem_bytes,
+    )
+    for name in passes:
+        desc = desc.apply_named(name)
+    return desc
 
 
 def estimate_unroll_savings(insts_per_iter: float, trip_count: int,

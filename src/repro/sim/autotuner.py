@@ -17,9 +17,8 @@ greedy optimization strategies are unreliable on this architecture.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..apps.matmul import MatMul, MatmulConfig, TILE_SIZES
 

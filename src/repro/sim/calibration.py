@@ -35,7 +35,6 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..arch.device import DeviceSpec, TimingParams, DEFAULT_DEVICE
-from ..trace.trace import KernelTrace
 from .timing import estimate_time
 
 #: Paper-reported GFLOPS for the Section 4 study at 4096x4096.

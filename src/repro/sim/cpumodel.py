@@ -28,8 +28,8 @@ classic kernels land at sane absolute throughputs (scalar matmul
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from ..trace.instr import InstrClass
 from ..trace.trace import KernelTrace

@@ -29,7 +29,7 @@ modeled with simple LRU-over-lines structures sized per
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -26,9 +26,8 @@ all Section 4 kernels qualify).
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from ..arch.device import DeviceSpec, DEFAULT_DEVICE
 from ..trace.instr import InstrClass, SFU_CLASSES, GLOBAL_MEMORY_CLASSES

@@ -25,7 +25,7 @@ touch the merge/scale/memo machinery directly.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..obs.registry import get_registry
 from .trace import KernelTrace

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from .instr import InstrClass, flops_of, GLOBAL_MEMORY_CLASSES, SFU_CLASSES
 

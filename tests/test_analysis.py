@@ -1,0 +1,325 @@
+"""Static kernel analyzer: golden findings and dynamic agreement.
+
+Covers the contracts of :mod:`repro.analysis`:
+
+* deliberately-broken kernels trip exactly the rule they violate
+  (coalescing, bank conflicts, shared races, divergent sync, static
+  bounds, occupancy, batch safety);
+* every shipped kernel lints with zero ``high`` findings — the
+  analyzer must not cry wolf on the paper's own code;
+* the batch-safety rule agrees with each app's declared ``batchable``
+  flag (rpes/tpacf justify ``False``; matmul/saxpy are hazard-free);
+* the static verdicts agree with the simulator's dynamic trace
+  counters over the Section 4 matmul ladder (validation harness);
+* the ``lint`` CLI gates on severity and emits parseable JSON;
+* :data:`repro.cuda.context.CTX_OPS` stays in sync with the
+  ``BlockContext`` surface the analyzer models.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Finding,
+    KernelReport,
+    LintTarget,
+    Severity,
+    analyze_target,
+    garr,
+)
+from repro.analysis.lint import lint_app, main as lint_main
+from repro.analysis.validate import main as validate_main, validation_checks
+from repro.apps.registry import app_names
+from repro.cuda import kernel
+from repro.cuda.context import BlockContext, CTX_OPS
+from repro.opt.passes import descriptor_from_report
+
+
+# ----------------------------------------------------------------------
+# Deliberately broken kernels (golden findings)
+# ----------------------------------------------------------------------
+
+def strided_kernel():
+    """Every thread loads x[4*i]: strided, never coalescable."""
+
+    @kernel("bad_strided", regs_per_thread=8)
+    def bad_strided(ctx, x, y, n):
+        i = ctx.global_tid()
+        v = ctx.ld_global(x, i * 4)
+        ctx.st_global(y, i, v)
+
+    return bad_strided
+
+
+def racy_kernel():
+    """Tile staging with the __syncthreads() removed."""
+
+    @kernel("bad_race", regs_per_thread=8, batchable=False)
+    def bad_race(ctx, x, n):
+        buf = ctx.shared_alloc((256,), np.float32, "buf")
+        v = ctx.ld_global(x, ctx.tid)
+        ctx.st_shared(buf, ctx.tx, v)
+        w = ctx.ld_shared(buf, (ctx.tx + 1) % 256)   # neighbour's slot
+        ctx.st_global(x, ctx.tid, w)
+
+    return bad_race
+
+
+def divergent_sync_kernel():
+    """__syncthreads() reachable by only part of the block."""
+
+    @kernel("bad_divsync", regs_per_thread=8)
+    def bad_divsync(ctx, x, n):
+        with ctx.masked(ctx.tx < 8):
+            ctx.sync()
+            ctx.st_global(x, ctx.tid, 1.0)
+
+    return bad_divsync
+
+
+def oob_kernel():
+    """Reads one full block past the end of its input."""
+
+    @kernel("bad_oob", regs_per_thread=8)
+    def bad_oob(ctx, x, y, n):
+        v = ctx.ld_global(x, ctx.tid + n)
+        ctx.st_global(y, ctx.tid, v)
+
+    return bad_oob
+
+
+def bank_conflict_kernel():
+    """Stride-2 shared reads: every lane pair collides on a bank."""
+
+    @kernel("bad_bank", regs_per_thread=8)
+    def bad_bank(ctx, x, n):
+        buf = ctx.shared_alloc((512,), np.float32, "buf")
+        ctx.st_shared(buf, ctx.tx, ctx.ld_global(x, ctx.tid))
+        ctx.sync()
+        v = ctx.ld_shared(buf, ctx.tx * 2)
+        ctx.st_global(x, ctx.tid, v)
+
+    return bad_bank
+
+
+def reg_hog_kernel():
+    """256 threads x 64 registers: cannot fit a single block on an SM."""
+
+    @kernel("bad_regs", regs_per_thread=64)
+    def bad_regs(ctx, x, n):
+        ctx.st_global(x, ctx.tid, 0.0)
+
+    return bad_regs
+
+
+def unbatchable_kernel():
+    """Declared batchable but coerces a block coordinate to a scalar."""
+
+    @kernel("bad_batch", regs_per_thread=8, batchable=True)
+    def bad_batch(ctx, x, n):
+        base = int(ctx.bx) * ctx.blockDim.x
+        ctx.st_global(x, base + ctx.tx, 0.0)
+
+    return bad_batch
+
+
+def _report(kern, n=1024, grid=(2,), block=(256,),
+            extra=()) -> KernelReport:
+    args = (garr("x", n),) + tuple(extra) + (n,)
+    target = LintTarget(kern, grid, block, args)
+    return analyze_target(target, app="test")
+
+
+def _rules(report: KernelReport, severity=None):
+    return {f.rule for f in report.findings
+            if severity is None or f.severity == severity}
+
+
+class TestGoldenFindings:
+    def test_strided_load_is_medium_coalescing(self):
+        report = _report(strided_kernel(), n=4096,
+                         extra=(garr("y", 4096),))
+        bad = [f for f in report.findings
+               if f.rule == "coalescing" and f.array == "x"]
+        assert bad and all(f.severity == Severity.MEDIUM for f in bad)
+        acc = report.access("x")
+        assert acc.coalesced is False
+        assert acc.pattern.startswith("strided")
+        # the output stream stays clean
+        assert report.access("y").coalesced is True
+
+    def test_missing_sync_is_high_shared_race(self):
+        report = _report(racy_kernel())
+        races = [f for f in report.findings if f.rule == "shared-race"]
+        assert races and all(f.severity == Severity.HIGH for f in races)
+        assert races[0].array == "buf"
+
+    def test_divergent_sync_is_high(self):
+        report = _report(divergent_sync_kernel())
+        assert "divergent-sync" in _rules(report, Severity.HIGH)
+
+    def test_static_out_of_bounds_is_high(self):
+        report = _report(oob_kernel(), extra=(garr("y", 1024),))
+        oob = [f for f in report.findings if f.rule == "bounds"]
+        assert oob and oob[0].severity == Severity.HIGH
+        assert oob[0].array == "x"
+        assert "1024" in oob[0].message      # names the declared size
+
+    def test_stride_two_shared_read_is_bank_conflict(self):
+        report = _report(bank_conflict_kernel())
+        conflicts = [f for f in report.findings
+                     if f.rule == "bank-conflict"]
+        assert conflicts
+        assert conflicts[0].severity == Severity.MEDIUM
+        assert "2-way" in conflicts[0].message
+        assert report.access("buf").conflict_degree == 2
+        # the staged store/load is synchronized: no race finding
+        assert "shared-race" not in _rules(report)
+
+    def test_unschedulable_launch_is_high_occupancy(self):
+        report = _report(reg_hog_kernel())
+        occ = [f for f in report.findings if f.rule == "occupancy"]
+        assert occ and occ[0].severity == Severity.HIGH
+        assert report.occupancy["blocks/SM"] == 0
+
+    def test_contradicted_batchable_flag_is_high(self):
+        report = _report(unbatchable_kernel())
+        batch = [f for f in report.findings if f.rule == "batch-safety"]
+        assert batch and batch[0].severity == Severity.HIGH
+        assert "batchable=True" in batch[0].message
+        assert "scalar-coerce" in report.batch_hazards
+
+
+# ----------------------------------------------------------------------
+# Shipped kernels: no false alarms
+# ----------------------------------------------------------------------
+
+class TestShippedKernels:
+    def test_no_high_findings_across_the_suite(self):
+        for name in app_names():
+            for report in lint_app(name):
+                high = [f.format() for f in report.findings
+                        if f.severity == Severity.HIGH]
+                assert not high, f"{name}/{report.label}: {high}"
+
+    def test_every_app_declares_lint_targets(self):
+        from repro.apps.registry import get_app
+        for name in app_names():
+            assert get_app(name).lint_targets(), \
+                f"{name} declares no lint targets"
+
+    def test_matmul_ladder_verdicts(self):
+        reports = {r.note: r for r in lint_app("matmul")}
+        # naive: the A row element is broadcast across the half-warp
+        naive_a = reports["naive"].access("A")
+        assert naive_a.coalesced is False
+        assert naive_a.pattern == "broadcast"
+        assert reports["naive"].count(Severity.MEDIUM) >= 1
+        # tiled variants coalesce both streams and stay conflict-free
+        for note in ("tiled", "tiled_unrolled", "prefetch"):
+            report = reports[note]
+            for array in ("A", "B", "C"):
+                assert report.access(array).coalesced is True, \
+                    f"{note}/{array}"
+            for array in ("As", "Bs"):
+                assert report.access(array).conflict_degree == 1
+        # the Section 4.4 register cost: prefetch drops to 2 blocks/SM
+        assert reports["tiled"].occupancy["blocks/SM"] == 3
+        assert reports["prefetch"].occupancy["blocks/SM"] == 2
+
+    def test_batch_safety_agrees_with_declared_flags(self):
+        for name in ("rpes", "tpacf"):
+            for report in lint_app(name):
+                assert report.batchable_declared is False
+                assert report.batch_hazards, report.label
+                justified = [f for f in report.findings
+                             if f.rule == "batch-safety"]
+                assert justified
+                assert justified[0].severity == Severity.INFO
+        for name in ("matmul", "saxpy"):
+            for report in lint_app(name):
+                assert report.batchable_declared is True
+                assert not report.batch_hazards, report.label
+
+
+# ----------------------------------------------------------------------
+# Static vs. dynamic cross-validation
+# ----------------------------------------------------------------------
+
+class TestValidation:
+    def test_static_verdicts_match_trace_counters(self):
+        checks = validation_checks()
+        bad = [c.format() for c in checks if not c.ok]
+        assert not bad, "\n".join(bad)
+        # the harness exercises all three comparison families
+        assert any("coalesced" in c.check for c in checks)
+        assert any(c.check == "bank conflicts" for c in checks)
+        assert any(c.check == "occupancy" for c in checks)
+
+    def test_validate_cli_exits_clean(self, capsys):
+        assert validate_main([]) == 0
+        out = capsys.readouterr().out
+        assert "0 disagreement(s)" in out
+
+
+# ----------------------------------------------------------------------
+# CLI behaviour
+# ----------------------------------------------------------------------
+
+class TestLintCli:
+    def test_json_output_parses(self, capsys):
+        assert lint_main(["matmul", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {r["note"] for r in payload} == \
+            {"naive", "tiled", "tiled_unrolled", "prefetch"}
+        for report in payload:
+            for finding in report["findings"]:
+                assert finding["severity"] in ("info", "medium", "high")
+
+    def test_fail_on_high_passes_the_suite(self):
+        assert lint_main(["--fail-on", "high"]) == 0
+
+    def test_fail_on_medium_trips_on_intentional_baselines(self, capsys):
+        # naive matmul's broadcast A load is a medium by design
+        assert lint_main(["matmul", "--fail-on", "medium"]) == 1
+
+    def test_unknown_severity_is_rejected(self):
+        with pytest.raises(ValueError):
+            lint_main(["--fail-on", "catastrophic"])
+
+
+# ----------------------------------------------------------------------
+# Integration points
+# ----------------------------------------------------------------------
+
+class TestIntegration:
+    def test_descriptor_from_report_reproduces_the_cliff(self):
+        tiled = next(r for r in lint_app("matmul") if r.note == "tiled")
+        base = descriptor_from_report(tiled)
+        assert base.regs_per_thread == tiled.regs_declared
+        assert base.smem_bytes == tiled.smem_bytes
+        assert base.occupancy().blocks_per_sm == 3
+        # prefetching's +2 registers cross the Section 4.2 cliff
+        prefetched = descriptor_from_report(tiled, ("prefetching",))
+        assert prefetched.occupancy().blocks_per_sm == 2
+
+    def test_ctx_ops_covers_the_blockcontext_surface(self):
+        props = {name for name, member
+                 in inspect.getmembers(BlockContext)
+                 if isinstance(inspect.getattr_static(BlockContext, name,
+                                                      None), property)}
+        methods = {name for name, member
+                   in inspect.getmembers(BlockContext,
+                                         predicate=inspect.isfunction)
+                   if not name.startswith("_")}
+        uncovered = methods - props - set(CTX_OPS)
+        assert not uncovered, \
+            f"BlockContext methods missing from CTX_OPS: {uncovered}"
+        missing = set(CTX_OPS) - methods
+        assert not missing, \
+            f"CTX_OPS entries with no BlockContext method: {missing}"

@@ -5,7 +5,6 @@ import pytest
 from repro.arch import (
     DEFAULT_DEVICE,
     DeviceSpec,
-    TimingParams,
     format_memory_table,
     geforce_8800_gtx,
     memory_table,

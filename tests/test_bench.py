@@ -1,7 +1,5 @@
 """Tests for the benchmark harness (runners, formatting, paper data)."""
 
-import pytest
-
 from repro.bench import (
     format_table,
     run_figure4,

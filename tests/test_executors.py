@@ -252,7 +252,7 @@ def test_non_batchable_kernel_falls_back_to_sequential():
     def probe(ctx, out, width):
         # Python-level use of the scalar block coordinate: legal only
         # on the sequential backend, hence batchable=False
-        offset = int(ctx.block_linear) * 0.0
+        _offset = int(ctx.block_linear) * 0.0
         scalar_probe(ctx, out, width)
 
     dev = Device()

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.arch import DEFAULT_DEVICE
 from repro.cuda import (
     CudaModelError,
     Device,

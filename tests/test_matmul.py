@@ -5,7 +5,6 @@ import pytest
 
 from repro.apps.matmul import (
     MatMul,
-    MatmulConfig,
     TILE_SIZES,
     VARIANTS,
     build_kernel,

@@ -28,7 +28,7 @@ from repro.obs import (
     use_registry,
     use_tracer,
 )
-from repro.obs.profiler import STAGES, LaunchRecord
+from repro.obs.profiler import STAGES
 
 
 @kernel("obs_writer", regs_per_thread=6)

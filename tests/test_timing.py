@@ -1,14 +1,12 @@
 """Tests for the analytical timing model, the bound analysis and the
 CPU baseline model."""
 
-import numpy as np
 import pytest
 
 from repro.arch import DEFAULT_DEVICE
 from repro.sim.bounds import analyze_bounds
 from repro.sim.cpumodel import (
     CpuCostParams,
-    CpuSpec,
     estimate_cpu_time,
 )
 from repro.sim.timing import LaunchConfigError, estimate_time

@@ -1,6 +1,5 @@
 """Tests for KernelTrace aggregation, scaling and derived metrics."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

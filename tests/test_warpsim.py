@@ -6,7 +6,7 @@ import pytest
 
 from repro.arch import DEFAULT_DEVICE
 from repro.cuda import Device, kernel, launch
-from repro.sim.warpsim import StreamEvent, WarpSimResult, simulate_launch, simulate_sm
+from repro.sim.warpsim import StreamEvent, simulate_launch, simulate_sm
 from repro.trace.instr import InstrClass
 
 
