@@ -54,7 +54,8 @@ def main() -> int:
     speedup = seq_wall / bat_wall if bat_wall > 0 else 0.0
     overhead = measure_overhead()
 
-    round_stages = lambda s: {k: round(v, 4) for k, v in s.items()}
+    def round_stages(s):
+        return {k: round(v, 4) for k, v in s.items()}
     report = {
         "benchmark": "pipeline_perf_smoke",
         "workload": f"matmul {N}^3 functional, tiled_unrolled {TILE}x{TILE}",

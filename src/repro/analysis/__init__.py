@@ -10,24 +10,43 @@ register/shared occupancy (Section 4.2) and batched-execution safety.
 Entry points:
 
 * :func:`analyze_target` — analyze one :class:`LintTarget`.
-* ``python -m repro.analysis.lint`` — lint registered applications.
+* :func:`estimate_target` — static performance estimate (instruction
+  census + liveness registers + Section-4 bounds, no execution).
+* :func:`advise_target` — rank optimization passes by predicted payoff.
+* ``python -m repro.analysis.lint`` — lint registered applications
+  (``--estimate`` / ``--advise`` add the performance model).
 * ``python -m repro.analysis.validate`` — cross-validate static
-  verdicts against dynamic trace counters.
+  verdicts against dynamic trace counters and the timing simulator.
 """
 
+from .advisor import Advice, AdvisorReport, advise_app, advise_target
+from .census import KernelCensus, census_target
+from .estimate import PerfEstimate, estimate_app, estimate_target
 from .findings import AccessSummary, Finding, KernelReport, Severity
+from .liveness import RegisterEstimate, estimate_registers
 from .rules import analyze_target, sample_coords
 from .targets import LintArray, LintTarget, carr, garr, tarr
 
 __all__ = [
     "AccessSummary",
+    "Advice",
+    "AdvisorReport",
     "Finding",
+    "KernelCensus",
     "KernelReport",
     "LintArray",
     "LintTarget",
+    "PerfEstimate",
+    "RegisterEstimate",
     "Severity",
+    "advise_app",
+    "advise_target",
     "analyze_target",
     "carr",
+    "census_target",
+    "estimate_app",
+    "estimate_registers",
+    "estimate_target",
     "garr",
     "sample_coords",
     "tarr",

@@ -1,0 +1,270 @@
+"""Optimization advisor: rank Section-4 transformations by payoff.
+
+Given a kernel's static census and register estimate, the advisor
+asks, for each transformation in the paper's catalogue
+(:data:`repro.opt.passes.OPTIMIZATION_PASSES`): *if this pass were
+applied, what would the performance estimate become?*  Each pass's
+effect is modelled on the census trace the same way the paper reasons
+about PTX —
+
+* **tiling** stages global tiles through shared memory: global
+  traffic divides by the tile dimension, staging becomes coalesced,
+  shared accesses and two barriers per tile appear (Section 4.2);
+* **unrolling** deletes the per-iteration branch/compare/increment
+  bookkeeping and frees the induction register (Section 4.3,
+  125 -> 59 instructions);
+* **prefetching** double-buffers through registers: two more
+  registers, a register move per staged element (Section 4.4) — the
+  advisor reproduces the paper's *negative* payoff when the extra
+  registers cross an occupancy cliff;
+* **register tiling** keeps an output tile in registers, removing
+  address recomputation at a 4-register cost (Section 5.2).
+
+The adjusted census is re-estimated through the identical
+bounds/timing pipeline, so predicted payoffs and the real variant
+ladder are directly comparable (validated in
+:mod:`repro.analysis.validate`).  Advice is emitted as ``advisor``
+findings at ``info`` severity through the standard lint plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from ..arch.device import DEFAULT_DEVICE, DeviceSpec
+from ..opt.passes import OPTIMIZATION_PASSES, OptimizationPass
+from ..trace.instr import InstrClass
+from ..trace.trace import KernelTrace
+from .estimate import PerfEstimate, estimate_census, estimate_target
+from .findings import Finding, Severity
+from .targets import LintTarget
+
+#: tile dimension the tiling model assumes (the paper's 16x16 tiles)
+TILE_DIM = 16
+
+ADVISOR_RULE = "advisor"
+
+
+@dataclass(frozen=True)
+class Advice:
+    """Predicted consequence of applying one pass to one kernel."""
+
+    pass_name: str
+    description: str
+    predicted_gflops: float         # estimate after the pass
+    payoff_gflops: float            # delta vs the base estimate
+    bound_after: str
+    blocks_per_sm_before: int
+    blocks_per_sm_after: int
+    regs_after: int
+
+    @property
+    def payoff_fraction(self) -> float:
+        base = self.predicted_gflops - self.payoff_gflops
+        return self.payoff_gflops / base if base > 0 else 0.0
+
+    @property
+    def occupancy_cliff(self) -> bool:
+        return self.blocks_per_sm_after < self.blocks_per_sm_before
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "pass": self.pass_name,
+            "predicted_gflops": round(self.predicted_gflops, 2),
+            "payoff_gflops": round(self.payoff_gflops, 2),
+            "payoff_fraction": round(self.payoff_fraction, 4),
+            "bound_after": self.bound_after,
+            "blocks_per_sm_before": self.blocks_per_sm_before,
+            "blocks_per_sm_after": self.blocks_per_sm_after,
+            "regs_after": self.regs_after,
+            "occupancy_cliff": self.occupancy_cliff,
+        }
+
+
+@dataclass
+class AdvisorReport:
+    """Ranked transformation advice for one lint target."""
+
+    kernel: str
+    note: str
+    base: PerfEstimate
+    advice: List[Advice]            # sorted by payoff, best first
+
+    @property
+    def label(self) -> str:
+        return f"{self.kernel}[{self.note}]" if self.note else self.kernel
+
+    def best(self) -> Optional[Advice]:
+        return self.advice[0] if self.advice else None
+
+    def findings(self) -> List[Finding]:
+        """Advisor findings in the lint vocabulary (all ``info``)."""
+        out: List[Finding] = []
+        for adv in self.advice:
+            sign = "+" if adv.payoff_gflops >= 0 else ""
+            message = (
+                f"{adv.pass_name}: predicted {adv.predicted_gflops:.1f} "
+                f"GFLOPS ({sign}{adv.payoff_gflops:.1f} vs base "
+                f"{self.base.predicted_gflops:.1f}), bound: "
+                f"{adv.bound_after}")
+            if adv.occupancy_cliff:
+                message += (
+                    f"; WARNING: {adv.regs_after} regs/thread drops "
+                    f"occupancy {adv.blocks_per_sm_before} -> "
+                    f"{adv.blocks_per_sm_after} blocks/SM")
+            out.append(Finding(
+                rule=ADVISOR_RULE, severity=Severity.INFO,
+                kernel=self.kernel, message=message))
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kernel": self.kernel,
+            "note": self.note,
+            "base": self.base.to_dict(),
+            "advice": [a.to_dict() for a in self.advice],
+        }
+
+
+def _loop_iterations(trace: KernelTrace) -> float:
+    """Warp-level loop-iteration estimate: each materialized iteration
+    emits exactly one BRANCH via ``ctx.loop_tail`` (divergent ``if``
+    blocks also emit BRANCH, so this overcounts for branchy kernels —
+    acceptable for ranking, documented in DESIGN.md)."""
+    return float(trace.warp_insts[InstrClass.BRANCH])
+
+
+def _apply_pass_to_trace(trace: KernelTrace, opt: OptimizationPass
+                         ) -> KernelTrace:
+    """Model a pass's effect on a census trace (see module docs)."""
+    new = trace.scaled(1.0)         # deep-ish copy with identical stats
+    iters = _loop_iterations(trace)
+
+    if opt.name == "unrolling":
+        # delete the per-iteration compare / branch / induction update
+        for cls in (InstrClass.BRANCH, InstrClass.SETP, InstrClass.IALU):
+            removed = min(iters, new.warp_insts[cls])
+            new.warp_insts[cls] -= removed
+            new.thread_insts[cls] = max(
+                0.0, new.thread_insts[cls] - removed * 32)
+    elif opt.name == "prefetching":
+        # one register move per staged element, amortized per iteration
+        moves = abs(opt.insts_per_iter_delta) * iters
+        new.warp_insts[InstrClass.CVT] += moves
+        new.thread_insts[InstrClass.CVT] += moves * 32
+    elif opt.name == "tiling":
+        # stage TILE_DIM-wide tiles through shared memory: each element
+        # is fetched once per tile instead of once per thread, the
+        # staging loads coalesce, and reads move to shared memory
+        loads = new.warp_insts[InstrClass.LD_GLOBAL]
+        staged = loads / TILE_DIM
+        new.warp_insts[InstrClass.LD_GLOBAL] = staged
+        new.thread_insts[InstrClass.LD_GLOBAL] /= TILE_DIM
+        new.warp_insts[InstrClass.LD_SHARED] += loads
+        new.thread_insts[InstrClass.LD_SHARED] += \
+            trace.thread_insts[InstrClass.LD_GLOBAL]
+        new.warp_insts[InstrClass.ST_SHARED] += staged
+        new.thread_insts[InstrClass.ST_SHARED] += \
+            trace.thread_insts[InstrClass.LD_GLOBAL] / TILE_DIM
+        new.warp_insts[InstrClass.SYNC] += 2 * iters / TILE_DIM
+        new.syncs += 2 * iters / TILE_DIM
+        new.global_transactions /= TILE_DIM
+        new.global_bus_bytes /= TILE_DIM
+        new.global_useful_bytes /= TILE_DIM
+        new.uncoalesced_transactions = 0.0
+        for stats in new.per_array.values():
+            scaled = stats.scaled(1.0 / TILE_DIM)
+            stats.warp_accesses = scaled.warp_accesses
+            stats.transactions = scaled.transactions
+            stats.bus_bytes = scaled.bus_bytes
+            stats.useful_bytes = scaled.useful_bytes
+            stats.coalesced_accesses = scaled.transactions
+    elif opt.name == "register_tiling":
+        removed = min(iters, new.warp_insts[InstrClass.IALU])
+        new.warp_insts[InstrClass.IALU] -= removed
+        new.thread_insts[InstrClass.IALU] = max(
+            0.0, new.thread_insts[InstrClass.IALU] - removed * 32)
+
+    return new
+
+
+def _applicable(base: PerfEstimate, opt: OptimizationPass) -> bool:
+    trace = base.census.trace
+    has_induction = "induction" in base.registers.classes.values()
+    if opt.name == "tiling":
+        return (trace.warp_insts[InstrClass.LD_GLOBAL] > 0
+                and base.census.smem_bytes == 0
+                and _loop_iterations(trace) > 0)
+    if opt.name == "unrolling":
+        return has_induction
+    if opt.name == "prefetching":
+        # needs a shared-memory staging loop and no register
+        # double-buffering yet (register moves emit ``cvt``)
+        return (base.census.smem_bytes > 0
+                and trace.warp_insts[InstrClass.CVT] == 0
+                and trace.warp_insts[InstrClass.LD_GLOBAL] > 0)
+    if opt.name == "register_tiling":
+        return has_induction and trace.warp_insts[InstrClass.FMA] > 0
+    return False
+
+
+def advise_estimate(base: PerfEstimate,
+                    spec: DeviceSpec = DEFAULT_DEVICE) -> AdvisorReport:
+    """Rank the catalogue's applicable passes against a base estimate."""
+    advice: List[Advice] = []
+    for opt in OPTIMIZATION_PASSES.values():
+        if not _applicable(base, opt):
+            continue
+        new_trace = _apply_pass_to_trace(base.census.trace, opt)
+        new_census = replace(
+            base.census, trace=new_trace,
+            smem_bytes=max(0, base.census.smem_bytes
+                           + opt.smem_delta_bytes))
+        regs_after = max(1, base.registers.regs + opt.regs_delta)
+        after = estimate_census(new_census, base.registers, spec,
+                                regs_per_thread=regs_after)
+        advice.append(Advice(
+            pass_name=opt.name,
+            description=opt.description,
+            predicted_gflops=after.predicted_gflops,
+            payoff_gflops=after.predicted_gflops - base.predicted_gflops,
+            bound_after=after.bound,
+            blocks_per_sm_before=base.occupancy.blocks_per_sm,
+            blocks_per_sm_after=after.occupancy.blocks_per_sm,
+            regs_after=regs_after,
+        ))
+    advice.sort(key=lambda a: (-a.payoff_gflops, a.pass_name))
+    return AdvisorReport(kernel=base.kernel, note=base.note,
+                         base=base, advice=advice)
+
+
+def advise_target(target: LintTarget,
+                  spec: DeviceSpec = DEFAULT_DEVICE) -> AdvisorReport:
+    """Census, estimate, then advise one lint target."""
+    return advise_estimate(estimate_target(target, spec), spec)
+
+
+def advise_app(app, spec: DeviceSpec = DEFAULT_DEVICE
+               ) -> List[AdvisorReport]:
+    """Advisor reports for every lint target of an application."""
+    if isinstance(app, str):
+        from ..apps.registry import get_app
+        app = get_app(app)
+    return [advise_target(t, spec) for t in app.lint_targets()]
+
+
+def format_advice(report: AdvisorReport) -> str:
+    lines = [f"{report.label}: base {report.base.predicted_gflops:.2f} "
+             f"GFLOPS ({report.base.bound})"]
+    if not report.advice:
+        lines.append("    no applicable transformations")
+    for adv in report.advice:
+        sign = "+" if adv.payoff_gflops >= 0 else ""
+        cliff = (f"  [occupancy {adv.blocks_per_sm_before}->"
+                 f"{adv.blocks_per_sm_after} blocks/SM]"
+                 if adv.occupancy_cliff else "")
+        lines.append(
+            f"    {adv.pass_name:16s} -> {adv.predicted_gflops:7.2f} "
+            f"GFLOPS ({sign}{adv.payoff_gflops:.2f}){cliff}")
+    return "\n".join(lines)

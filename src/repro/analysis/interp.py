@@ -37,6 +37,9 @@ import numpy as np
 from ..arch.device import DEFAULT_DEVICE, DeviceSpec
 from ..cuda.context import CTX_OPS
 from ..cuda.dim3 import Dim3, as_dim3
+from ..sim.memsys import block_bank_conflicts, coalesce_block_access
+from ..trace.instr import InstrClass
+from ..trace.trace import KernelTrace
 from .symbolic import (
     AnalysisLimit,
     BLOCK_COORD,
@@ -54,6 +57,30 @@ LOOP_CAP = 512
 
 #: iterations to run a data-dependent while loop for
 UNKNOWN_WHILE_ITERS = 2
+
+#: op-name -> instruction class for the static census, mirroring the
+#: per-method _emit calls of :class:`~repro.cuda.context.BlockContext`
+#: (fsub accounts as FADD, fmin/fmax as FCMP, exactly like the DSL)
+CENSUS_FARITH: Dict[str, InstrClass] = {
+    "fma": InstrClass.FMA,
+    "fadd": InstrClass.FADD,
+    "fsub": InstrClass.FADD,
+    "fmul": InstrClass.FMUL,
+    "fdiv": InstrClass.FDIV,
+    "fmin": InstrClass.FCMP,
+    "fmax": InstrClass.FCMP,
+}
+
+#: memory (op, space) -> instruction class for the static census
+CENSUS_MEM: Dict[Tuple[str, str], InstrClass] = {
+    ("ld", "global"): InstrClass.LD_GLOBAL,
+    ("st", "global"): InstrClass.ST_GLOBAL,
+    ("atom", "global"): InstrClass.ATOM_GLOBAL,
+    ("ld", "shared"): InstrClass.LD_SHARED,
+    ("st", "shared"): InstrClass.ST_SHARED,
+    ("ld", "const"): InstrClass.LD_CONST,
+    ("ld", "tex"): InstrClass.LD_TEX,
+}
 
 
 # ----------------------------------------------------------------------
@@ -190,6 +217,10 @@ class _MaskedCM:
         self._cond = cond
 
     def __enter__(self) -> None:
+        # BlockContext.masked issues the predicate-set and branch under
+        # the parent mask, before divergence takes effect
+        self._ctx._census_emit(InstrClass.SETP)
+        self._ctx._census_emit(InstrClass.BRANCH)
         self._ctx._push_mask(self._cond)
 
     def __exit__(self, *_exc) -> bool:
@@ -235,6 +266,11 @@ class LintContext:
             (np.ones(T, dtype=bool), True, False)]
         self._smem_words = 0
         self.shared_arrays: List[LintShared] = []
+        #: static instruction census of this sample block — warp-level
+        #: instruction counts recorded exactly the way BlockContext's
+        #: _emit does, so :mod:`repro.analysis.census` can compare them
+        #: against dynamic LaunchProfiler trace counters one-for-one
+        self.census = KernelTrace()
 
         for op_name, op in CTX_OPS.items():
             if op.category == "identity":
@@ -291,6 +327,92 @@ class LintContext:
     def _line(self) -> int:
         return self._recorder.current_line
 
+    # -- census (static instruction/byte accounting) --------------------
+    def _census_emit(self, cls: InstrClass, count: int = 1) -> None:
+        """Mirror of BlockContext._emit: one warp instruction per warp
+        with any active lane, under the current divergence mask."""
+        if count == 0:
+            return
+        mask = self._mask_state()[0]
+        ws = self.spec.warp_size
+        pad = (-mask.shape[0]) % ws
+        m = np.concatenate([mask, np.zeros(pad, dtype=bool)]) if pad \
+            else mask
+        warps = int(m.reshape(-1, ws).any(axis=1).sum())
+        if warps == 0:
+            return
+        self.census.record_instr(cls, warps * count,
+                                 int(mask.sum()) * count)
+
+    def _census_global(self, name: str, index_sym: SymVal, itemsize: int,
+                       mask: np.ndarray) -> None:
+        """Static coalescing outcome of one global access event, using
+        the same :func:`coalesce_block_access` the simulator applies to
+        real addresses.  A data-dependent index (a gather/scatter) is
+        charged pessimistically: one transaction per active thread, the
+        CUDA 1.x serialization rule."""
+        nthreads = mask.shape[0]
+        value = index_sym.concrete_value()
+        if value is not None:
+            lanes = np.broadcast_to(np.asarray(value, dtype=np.int64),
+                                    (nthreads,))
+            wa, txn, bus, useful, coal = coalesce_block_access(
+                lanes * itemsize, mask, itemsize, self.spec)
+        else:
+            n = int(mask.sum())
+            if n == 0:
+                return
+            hw = self.spec.half_warp
+            wa = -(-n // hw)
+            txn = n
+            bus = n * max(itemsize, self.spec.min_transaction_bytes)
+            useful = n * itemsize
+            coal = 0
+        self.census.record_global_access(name, wa, txn, bus, useful, coal)
+
+    def _census_shared(self, array: "LintShared", index_sym: SymVal,
+                       mask: np.ndarray) -> None:
+        """Static bank-conflict serialization cycles, mirroring
+        BlockContext._record_bank_conflicts for concrete indices."""
+        value = index_sym.concrete_value()
+        if value is None:
+            return
+        nthreads = mask.shape[0]
+        words = (np.broadcast_to(np.asarray(value, dtype=np.int64),
+                                 (nthreads,))
+                 * max(1, array.itemsize // 4) + array.word_offset)
+        accesses, degree = block_bank_conflicts(words, mask, self.spec)
+        extra = (degree - accesses) * (
+            self.spec.timing.issue_cycles_per_warp_inst / 2.0)
+        if extra:
+            self.census.record_shared_conflict(extra)
+
+    def _census_const(self, index_sym: SymVal, mask: np.ndarray) -> None:
+        """Constant-cache broadcast serialization: threads of a
+        half-warp reading different words serialize one word/cycle."""
+        value = index_sym.concrete_value()
+        if value is None:
+            return
+        nthreads = mask.shape[0]
+        words = np.broadcast_to(np.asarray(value, dtype=np.int64),
+                                (nthreads,))
+        hw = self.spec.half_warp
+        pad = (-nthreads) % hw
+        w = np.concatenate([words, np.zeros(pad, np.int64)]) if pad \
+            else words
+        m = np.concatenate([mask, np.zeros(pad, bool)]) if pad else mask
+        rows_w = w.reshape(-1, hw)
+        rows_m = m.reshape(-1, hw)
+        extra = 0.0
+        for r in range(rows_w.shape[0]):
+            if not rows_m[r].any():
+                continue
+            distinct = len(np.unique(rows_w[r][rows_m[r]]))
+            extra += (distinct - 1) * (
+                self.spec.timing.issue_cycles_per_warp_inst / 2.0)
+        if extra:
+            self.census.record_shared_conflict(extra)
+
     def _record_access(self, op: str, space: str, array, index) -> None:
         mask, exact, divergent = self._mask_state()
         if isinstance(array, LintShared):
@@ -319,6 +441,13 @@ class LintContext:
             index=index_sym, itemsize=itemsize, size=size,
             mask=mask.copy(), mask_exact=exact, mask_divergent=divergent,
             word_offset=word_offset, word_scale=word_scale))
+        self._census_emit(CENSUS_MEM[(op, space)])
+        if space == "global":
+            self._census_global(name, index_sym, itemsize, mask)
+        elif space == "shared":
+            self._census_shared(array, index_sym, mask)
+        elif space == "const":
+            self._census_const(index_sym, mask)
 
     def _loaded_value(self, array) -> SymVal:
         if isinstance(array, LintShared):
@@ -331,16 +460,21 @@ class LintContext:
     def dispatch(self, name: str, op, *args, **kwargs):
         cat = op.category
         if cat in ("farith", "sfu"):
+            self._census_emit(CENSUS_FARITH.get(name, InstrClass.SFU))
             taints = frozenset().union(*(taints_of(a) for a in args)) \
                 if args else frozenset()
             varying = any(is_varying(a) for a in args)
             return SymVal.opaque("float", taints, varying)
         if cat == "iarith":
+            self._census_emit(InstrClass.IMUL if name == "imul"
+                              else InstrClass.IALU)
             return _int_arith(name, *args)
         if cat == "cvt":
+            self._census_emit(InstrClass.CVT)
             value, dtype = args[0], args[1] if len(args) > 1 else np.float32
             return as_sym(value).astype(dtype)
         if cat == "select":
+            self._census_emit(InstrClass.SETP)
             cond, new, old = args
             return _select(cond, new, old)
         if cat == "merge":
@@ -383,6 +517,7 @@ class LintContext:
             _mask, exact, divergent = self._mask_state()
             self._recorder.emit(SyncEvent(self._line(),
                                           divergent=divergent or not exact))
+            self._census_emit(InstrClass.SYNC)
             return None
         if cat == "masked":
             return _MaskedCM(self, args[0])
@@ -395,6 +530,11 @@ class LintContext:
             return bool(np.any(np.broadcast_to(
                 np.asarray(value, dtype=bool), mask.shape) & mask))
         if cat == "meta":       # loop_tail / address_ops
+            count = int(args[0]) if args else 1
+            self._census_emit(InstrClass.IALU, count)
+            if name == "loop_tail":
+                self._census_emit(InstrClass.SETP)
+                self._census_emit(InstrClass.BRANCH)
             return None
         raise AnalysisLimit(f"unmodeled ctx op {name!r} ({cat})")
 

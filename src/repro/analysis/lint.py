@@ -6,6 +6,8 @@ Usage::
     python -m repro.analysis.lint matmul lbm       # selected apps
     python -m repro.analysis.lint --json           # machine-readable
     python -m repro.analysis.lint --fail-on high   # CI gate
+    python -m repro.analysis.lint --estimate       # + static PerfEstimate
+    python -m repro.analysis.lint --advise         # + optimization advice
 
 Each application contributes the representative launch geometries it
 declares via :meth:`repro.apps.base.Application.lint_targets`; every
@@ -16,6 +18,17 @@ or above that severity is emitted — the repository gates CI on
 ``high`` (correctness hazards) and keeps ``medium``/``info``
 advisory, since several shipped kernels intentionally exhibit the
 paper's uncoalesced baselines.
+
+``--estimate`` adds the static performance model
+(:mod:`repro.analysis.estimate`): Section-4 bounds, liveness register
+estimate and the predicted GFLOPS/bottleneck.  ``--advise``
+additionally runs the optimization advisor
+(:mod:`repro.analysis.advisor`), whose ranked transformation advice is
+appended to each report's findings at ``info`` severity.
+
+JSON output is an object ``{"schema_version": N, "reports": [...]}``
+with findings sorted by ``(kernel, line, rule)`` so CI diffs are
+deterministic.
 """
 
 from __future__ import annotations
@@ -26,8 +39,15 @@ import sys
 from typing import List, Optional, Sequence
 
 from ..arch.device import DEFAULT_DEVICE, DeviceSpec
-from .findings import KernelReport, Severity
+from .findings import Finding, KernelReport, Severity
 from .rules import analyze_target
+
+#: version of the ``--json`` envelope; bump on shape changes
+JSON_SCHEMA_VERSION = 2
+
+
+def _finding_sort_key(finding: Finding):
+    return (finding.kernel, finding.line or 0, finding.rule)
 
 
 def lint_app(name: str, spec: DeviceSpec = DEFAULT_DEVICE
@@ -85,16 +105,62 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--fail-on", metavar="SEVERITY", default=None,
                         help="exit 1 if any finding is at or above this "
                              "severity (info|medium|high)")
+    parser.add_argument("--estimate", action="store_true",
+                        help="run the static performance estimator on "
+                             "every target")
+    parser.add_argument("--advise", action="store_true",
+                        help="rank optimization passes by predicted "
+                             "payoff (implies --estimate)")
     args = parser.parse_args(argv)
 
     threshold = Severity.parse(args.fail_on) if args.fail_on else None
     reports = lint_apps(args.apps or None)
 
+    estimates = {}
+    advisor_reports = {}
+    if args.estimate or args.advise:
+        from ..apps.registry import get_app
+        from .advisor import advise_estimate
+        from .estimate import estimate_target
+        index = 0
+        for name in (args.apps or None) or _registered_names():
+            for target in get_app(name).lint_targets():
+                report = reports[index]
+                est = estimate_target(target)
+                estimates[id(report)] = est
+                if args.advise:
+                    adv = advise_estimate(est)
+                    advisor_reports[id(report)] = adv
+                    report.findings.extend(adv.findings())
+                index += 1
+
+    for report in reports:
+        report.findings.sort(key=_finding_sort_key)
+
     if args.json:
-        print(json.dumps([r.to_dict() for r in reports], indent=2))
+        payload = []
+        for report in reports:
+            entry = report.to_dict()
+            est = estimates.get(id(report))
+            if est is not None:
+                entry["estimate"] = est.to_dict()
+            adv = advisor_reports.get(id(report))
+            if adv is not None:
+                entry["advice"] = [a.to_dict() for a in adv.advice]
+            payload.append(entry)
+        print(json.dumps({"schema_version": JSON_SCHEMA_VERSION,
+                          "reports": payload}, indent=2))
     else:
+        from .advisor import format_advice
+        from .estimate import format_estimate
         for report in reports:
             print(_format_report(report))
+            est = estimates.get(id(report))
+            if est is not None:
+                print("    " + format_estimate(est).replace("\n", "\n    "))
+            adv = advisor_reports.get(id(report))
+            if adv is not None and adv.advice:
+                print("    " + format_advice(adv).replace("\n", "\n    "))
         totals = {s: sum(r.count(s) for r in reports) for s in Severity}
         print(f"{len(reports)} kernels: "
               + ", ".join(f"{totals[s]} {s}" for s in
@@ -108,6 +174,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"{threshold}", file=sys.stderr)
             return 1
     return 0
+
+
+def _registered_names() -> List[str]:
+    from ..apps.registry import app_names
+    return list(app_names())
 
 
 if __name__ == "__main__":

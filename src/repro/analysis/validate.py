@@ -17,8 +17,28 @@ verdicts pairwise::
     python -m repro.analysis.validate            # human-readable
     python -m repro.analysis.validate --json     # machine-readable
 
+It also validates the *static performance estimator*
+(:mod:`repro.analysis.estimate`) against the timing simulator at
+n=256, asserting that
+
+* each kernel's statically predicted GFLOPS matches the simulated
+  launch within tolerance, with matching bottleneck attribution;
+* the ladder ordering reproduces the paper's Section 4 story
+  (naive < tiled < tiled+unrolled, prefetch slightly *slower* than
+  unrolled, 4x4 tiles *worse* than untiled — Figure 4);
+* the closed-form anchors land where the paper computed them: naive
+  is bandwidth-bound with a ~43.2 GFLOPS compute potential, the
+  unrolled kernel compute-bound near 93.72 GFLOPS potential;
+* liveness register estimates reproduce the 10/9/11 regs/thread
+  anecdotes and the resulting blocks/SM.
+
+``--golden PATH`` additionally gates each kernel's
+predicted/simulated ratio against a checked-in golden file
+(``--write-golden`` refreshes it), failing on >10% drift.
+
 Exit status is non-zero if any check disagrees; the test suite runs
-the same checks via :func:`validation_checks`.
+the same checks via :func:`validation_checks` and
+:func:`estimator_checks`.
 """
 
 from __future__ import annotations
@@ -27,16 +47,28 @@ import argparse
 import json
 import sys
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..arch.device import DEFAULT_DEVICE, DeviceSpec
 from ..obs import LaunchProfiler
 from ..sim.occupancy import occupancy_for_launch
+from ..sim.timing import KernelTimeEstimate, estimate_kernel_time
+from .estimate import PerfEstimate, estimate_target
 from .findings import KernelReport
 from .rules import analyze_target
 
 #: matmul variants in the paper's optimization order
 MATMUL_LADDER = ("naive", "tiled", "tiled_unrolled", "prefetch")
+
+#: problem size for estimator validation — large enough that the 12 µs
+#: launch overhead is noise, small enough for the interpreter's loop cap
+ESTIMATOR_N = 256
+
+#: relative tolerance for static-vs-simulated GFLOPS agreement
+ESTIMATOR_RTOL = 0.10
+
+#: golden-file drift tolerance for the CI regression gate
+GOLDEN_RTOL = 0.10
 
 
 @dataclass
@@ -145,6 +177,198 @@ def validation_checks(spec: DeviceSpec = DEFAULT_DEVICE) -> List[Check]:
     return checks
 
 
+# ----------------------------------------------------------------------
+# Static performance estimator vs timing simulator
+# ----------------------------------------------------------------------
+
+def _matmul_estimator_target(variant: str, tile: int = 16,
+                             note: Optional[str] = None):
+    from ..apps.matmul import build_kernel
+    from .targets import LintTarget, garr
+    n = ESTIMATOR_N
+    block = 16 if variant == "naive" else tile
+    args = (garr("A", n * n), garr("B", n * n), garr("C", n * n), n)
+    return LintTarget(build_kernel(variant, tile),
+                      (n // block, n // block), (block, block),
+                      args, note=note if note is not None else variant)
+
+
+def _estimator_workloads() -> List[Tuple[str, str, Dict[str, object]]]:
+    """(label, app, simulated workload) for every estimator target."""
+    rows: List[Tuple[str, str, Dict[str, object]]] = []
+    for variant in MATMUL_LADDER:
+        rows.append((f"matmul/{variant}", "matmul",
+                     {"n": ESTIMATOR_N, "variant": variant, "tile": 16,
+                      "trace_blocks": 2}))
+    rows.append(("matmul/tiled_4x4", "matmul",
+                 {"n": ESTIMATOR_N, "variant": "tiled", "tile": 4,
+                  "trace_blocks": 2}))
+    rows.append(("saxpy", "saxpy",
+                 {"n": 4096, "a": 2.5, "iterations": 1,
+                  "trace_blocks": 4}))
+    return rows
+
+
+def _estimator_target(label: str, spec: DeviceSpec):
+    if label == "matmul/tiled_4x4":
+        return _matmul_estimator_target("tiled", tile=4, note="tiled_4x4")
+    if label.startswith("matmul/"):
+        return _matmul_estimator_target(label.split("/", 1)[1])
+    from ..apps.registry import get_app
+    return get_app("saxpy", spec).lint_targets()[0]
+
+
+def estimator_pairs(spec: DeviceSpec = DEFAULT_DEVICE
+                    ) -> List[Tuple[str, PerfEstimate,
+                                    KernelTimeEstimate]]:
+    """(label, static estimate, simulated estimate) for the matmul
+    ladder (+4x4 tiles) and saxpy."""
+    from ..apps.registry import get_app
+    pairs = []
+    for label, app_name, workload in _estimator_workloads():
+        static = estimate_target(_estimator_target(label, spec), spec)
+        run = get_app(app_name, spec).run(dict(workload),
+                                          functional=False)
+        simulated = estimate_kernel_time(run.launches[0])
+        pairs.append((label, static, simulated))
+    return pairs
+
+
+def estimator_checks(spec: DeviceSpec = DEFAULT_DEVICE,
+                     pairs: Optional[List[Tuple[str, PerfEstimate,
+                                                KernelTimeEstimate]]]
+                     = None) -> List[Check]:
+    """Static-estimator validation (see module docstring)."""
+    pairs = pairs if pairs is not None else estimator_pairs(spec)
+    by_label = {label: (est, sim) for label, est, sim in pairs}
+    checks: List[Check] = []
+
+    # 1. each prediction brackets the simulator within tolerance,
+    #    with matching bottleneck attribution
+    for label, est, sim in pairs:
+        ratio = est.predicted_gflops / sim.gflops if sim.gflops else 0.0
+        checks.append(Check(
+            label, "predicted/simulated GFLOPS",
+            f"{est.predicted_gflops:.2f}", f"{sim.gflops:.2f}",
+            abs(ratio - 1.0) <= ESTIMATOR_RTOL))
+        checks.append(Check(label, "binding bottleneck",
+                            est.bound, sim.bound, est.bound == sim.bound))
+        ceiling = max(est.compute_bound_gflops, spec.peak_gflops_with_sfu)
+        checks.append(Check(
+            label, "prediction under closed-form ceiling",
+            f"{est.predicted_gflops:.2f}",
+            f"<= {ceiling:.2f}",
+            est.predicted_gflops <= ceiling + 1e-6))
+
+    def predicted(label: str) -> float:
+        return by_label[label][0].predicted_gflops
+
+    def simulated(label: str) -> float:
+        return by_label[label][1].gflops
+
+    # 2. the paper's Section 4 / Figure 4 ordering, both statically and
+    #    in the simulator (10.58 -> 46.49 -> 91.14; prefetch ~ -5%;
+    #    4x4 tiles worse than untiled)
+    orderings = [
+        ("naive < tiled", "matmul/naive", "matmul/tiled"),
+        ("tiled < tiled_unrolled", "matmul/tiled",
+         "matmul/tiled_unrolled"),
+        ("prefetch < tiled_unrolled", "matmul/prefetch",
+         "matmul/tiled_unrolled"),
+        ("tiled_4x4 < naive", "matmul/tiled_4x4", "matmul/naive"),
+    ]
+    for name, lo, hi in orderings:
+        checks.append(Check(
+            "matmul ladder", f"static ordering: {name}",
+            f"{predicted(lo):.2f} < {predicted(hi):.2f}",
+            f"{simulated(lo):.2f} < {simulated(hi):.2f}",
+            predicted(lo) < predicted(hi)
+            and simulated(lo) < simulated(hi)))
+
+    # 3. the closed-form anchors (Section 4.1's 1/8 * 345.6 = 43.2 and
+    #    Section 4.3's 16/59 * 345.6 = 93.72)
+    naive = by_label["matmul/naive"][0]
+    unrolled = by_label["matmul/tiled_unrolled"][0]
+    checks.append(Check(
+        "matmul/naive", "bandwidth-bound, compute potential ~43.2",
+        f"{naive.compute_bound_gflops:.2f} GFLOPS, "
+        f"demand {naive.bounds.bandwidth_demand_gbs:.1f} GB/s",
+        "43.2 GFLOPS potential, 173 GB/s demand (paper)",
+        naive.bounds.memory_bound
+        and abs(naive.compute_bound_gflops - 43.2) <= 3.0))
+    checks.append(Check(
+        "matmul/tiled_unrolled", "compute-bound, potential ~93.72",
+        f"{unrolled.compute_bound_gflops:.2f} GFLOPS",
+        "93.72 GFLOPS potential (paper)",
+        not unrolled.bounds.memory_bound
+        and abs(unrolled.compute_bound_gflops - 93.72) <= 8.0))
+
+    # 4. liveness reproduces the register anecdotes (Sections 4.3/4.4)
+    #    and the blocks/SM they imply
+    expected_regs = {"matmul/tiled": 10, "matmul/tiled_unrolled": 9,
+                     "matmul/prefetch": 11}
+    for label, expect in expected_regs.items():
+        est = by_label[label][0]
+        checks.append(Check(
+            label, "liveness regs/thread",
+            est.registers.regs, expect,
+            est.registers.regs == expect
+            and not est.registers.fallback))
+    for label, est, sim in pairs:
+        checks.append(Check(
+            label, "blocks/SM from static regs",
+            est.occupancy.blocks_per_sm, sim.occupancy.blocks_per_sm,
+            est.occupancy.blocks_per_sm == sim.occupancy.blocks_per_sm))
+
+    return checks
+
+
+def estimator_ratios(spec: DeviceSpec = DEFAULT_DEVICE,
+                     pairs: Optional[List[Tuple[str, PerfEstimate,
+                                                KernelTimeEstimate]]]
+                     = None) -> Dict[str, Dict[str, float]]:
+    """Predicted/simulated ratios in the golden-file shape."""
+    pairs = pairs if pairs is not None else estimator_pairs(spec)
+    out: Dict[str, Dict[str, float]] = {}
+    for label, est, sim in pairs:
+        ratio = est.predicted_gflops / sim.gflops if sim.gflops else 0.0
+        out[label] = {
+            "predicted_gflops": round(est.predicted_gflops, 4),
+            "simulated_gflops": round(sim.gflops, 4),
+            "ratio": round(ratio, 6),
+        }
+    return out
+
+
+def golden_checks(golden: Dict[str, Dict[str, float]],
+                  spec: DeviceSpec = DEFAULT_DEVICE,
+                  pairs: Optional[List[Tuple[str, PerfEstimate,
+                                             KernelTimeEstimate]]]
+                  = None,
+                  tolerance: float = GOLDEN_RTOL) -> List[Check]:
+    """CI regression gate: each kernel's predicted/simulated ratio must
+    stay within ``tolerance`` of the checked-in golden ratio."""
+    current = estimator_ratios(spec, pairs)
+    checks: List[Check] = []
+    for label, entry in sorted(golden.items()):
+        want = float(entry["ratio"])
+        now = current.get(label)
+        if now is None:
+            checks.append(Check(label, "golden ratio", "missing",
+                                want, False))
+            continue
+        drift = abs(now["ratio"] / want - 1.0) if want else float("inf")
+        checks.append(Check(
+            label, "predicted/simulated ratio drift vs golden",
+            f"{now['ratio']:.4f}", f"{want:.4f} ±{tolerance:.0%}",
+            drift <= tolerance))
+    for label in sorted(set(current) - set(golden)):
+        checks.append(Check(label, "golden ratio",
+                            f"{current[label]['ratio']:.4f}",
+                            "absent from golden file", False))
+    return checks
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.validate",
@@ -152,9 +376,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     "simulator's dynamic trace counters")
     parser.add_argument("--json", action="store_true",
                         help="emit checks as JSON")
+    parser.add_argument("--skip-estimator", action="store_true",
+                        help="only run the hazard-analyzer checks")
+    parser.add_argument("--golden", metavar="PATH", default=None,
+                        help="gate predicted/simulated ratios against "
+                             "this golden JSON file")
+    parser.add_argument("--write-golden", metavar="PATH", default=None,
+                        help="write the current ratios to PATH and exit")
     args = parser.parse_args(argv)
 
     checks = validation_checks()
+    if not args.skip_estimator:
+        pairs = estimator_pairs()
+        if args.write_golden:
+            ratios = estimator_ratios(pairs=pairs)
+            with open(args.write_golden, "w") as fh:
+                json.dump(ratios, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {len(ratios)} golden ratios to "
+                  f"{args.write_golden}")
+            return 0
+        checks.extend(estimator_checks(pairs=pairs))
+        if args.golden:
+            with open(args.golden) as fh:
+                golden = json.load(fh)
+            checks.extend(golden_checks(golden, pairs=pairs))
+
     if args.json:
         print(json.dumps([c.to_dict() for c in checks], indent=2))
     else:

@@ -207,6 +207,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--lint", action="store_true",
                         help="append the static analyzer's findings for "
                              "the app's kernels to the report")
+    parser.add_argument("--estimate", action="store_true",
+                        help="append the static performance estimates "
+                             "(census + bounds) for the app's kernels, "
+                             "for comparison against the profiled launches")
     parser.add_argument("--overhead-gate", metavar="PCT", type=float,
                         default=None,
                         help="fail if profiling overhead exceeds PCT%% "
@@ -231,6 +235,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from ..analysis.lint import lint_app
         lint_reports = lint_app(args.app)
 
+    estimates = None
+    if args.estimate:
+        from ..analysis.estimate import estimate_app
+        estimates = estimate_app(args.app)
+
     if args.chrome_trace:
         profiler.tracer.write_chrome_trace(args.chrome_trace)
 
@@ -245,6 +254,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             payload["overhead"] = overhead
         if lint_reports is not None:
             payload["lint"] = [r.to_dict() for r in lint_reports]
+        if estimates is not None:
+            payload["estimates"] = [e.to_dict() for e in estimates]
         print(json.dumps(payload, indent=2, default=str))
     else:
         print(format_records(profiler.records,
@@ -258,6 +269,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     print("  " + finding.format())
                 if not report.findings:
                     print(f"  {report.label}: clean")
+        if estimates is not None:
+            from ..analysis.estimate import format_estimate
+            print()
+            print("static performance estimates:")
+            for est in estimates:
+                print("  " + format_estimate(est).replace("\n", "\n  "))
         if args.metrics:
             print()
             print(format_metrics(profiler))

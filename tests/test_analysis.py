@@ -25,7 +25,6 @@ import numpy as np
 import pytest
 
 from repro.analysis import (
-    Finding,
     KernelReport,
     LintTarget,
     Severity,
@@ -275,11 +274,17 @@ class TestLintCli:
     def test_json_output_parses(self, capsys):
         assert lint_main(["matmul", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert {r["note"] for r in payload} == \
+        assert payload["schema_version"] == 2
+        reports = payload["reports"]
+        assert {r["note"] for r in reports} == \
             {"naive", "tiled", "tiled_unrolled", "prefetch"}
-        for report in payload:
+        for report in reports:
             for finding in report["findings"]:
                 assert finding["severity"] in ("info", "medium", "high")
+            # deterministic (kernel, line, rule) ordering for CI diffs
+            keys = [(f["kernel"], f["line"] or 0, f["rule"])
+                    for f in report["findings"]]
+            assert keys == sorted(keys)
 
     def test_fail_on_high_passes_the_suite(self):
         assert lint_main(["--fail-on", "high"]) == 0
