@@ -1,15 +1,17 @@
-"""Pipeline perf smoke: 512^3 functional matmul, both backends.
+"""Pipeline perf smoke: 512^3 functional matmul, all three backends.
 
 Times the full functional sweep (1024 blocks of 256 threads) of the
-``tiled_unrolled`` kernel under the reference ``SequentialExecutor``
-and the block-vectorized ``BatchedExecutor`` using the observability
-layer's span tracer (no hand-rolled ``perf_counter`` pairs), checks
-the device results are bit-identical, and writes
-``BENCH_pipeline.json`` at the repo root with the per-stage pipeline
-breakdown (plan/execute/collect/finalize) of each backend plus the
-profiler-overhead measurement.  CI gates on the batched backend being
->= 5x faster; the <5% profiler-overhead gate runs in the dedicated
-``obs-profile`` CI job (``profile_report --overhead-gate``).
+``tiled_unrolled`` kernel under the reference ``SequentialExecutor``,
+the block-vectorized ``BatchedExecutor`` and the AOT
+``CompiledExecutor`` using the observability layer's span tracer (no
+hand-rolled ``perf_counter`` pairs), checks all three device results
+are bit-identical, and writes ``BENCH_pipeline.json`` at the repo
+root with the per-stage pipeline breakdown (plan/execute/collect/
+finalize) of each backend plus the profiler-overhead measurement.
+CI gates on batched >= 5x over sequential and on the compiled backend
+clearing >= 20x over sequential and >= 3x over batched; the <5%
+profiler-overhead gate runs in the dedicated ``obs-profile`` CI job
+(``profile_report --overhead-gate``).
 
 Run as ``PYTHONPATH=src python benchmarks/perf_smoke.py``.
 """
@@ -20,7 +22,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.cuda import BatchedExecutor, Device, SequentialExecutor, launch
+from repro.cuda import (BatchedExecutor, CompiledExecutor, Device,
+                        SequentialExecutor, launch)
 from repro.apps.matmul import MatMul, build_kernel
 from repro.bench.profile_report import measure_overhead
 from repro.obs import SpanTracer, use_tracer
@@ -28,6 +31,8 @@ from repro.obs import SpanTracer, use_tracer
 N = 512
 TILE = 16
 SPEEDUP_FLOOR = 5.0
+COMPILED_VS_SEQ_FLOOR = 20.0
+COMPILED_VS_BATCHED_FLOOR = 3.0
 
 
 def _one(tracer, executor, label, a, b):
@@ -50,8 +55,16 @@ def main() -> int:
             tracer, SequentialExecutor(), "launch.sequential", a, b)
         bat_wall, bat_stages, bat_c = _one(
             tracer, BatchedExecutor(), "launch.batched", a, b)
-    identical = bool(np.array_equal(seq_c, bat_c))
+        # warm compile once so the timed run measures execution, not
+        # the one-off AST lowering (cached per kernel function)
+        _one(tracer, CompiledExecutor(), "launch.compiled_warm", a, b)
+        comp_wall, comp_stages, comp_c = _one(
+            tracer, CompiledExecutor(), "launch.compiled", a, b)
+    identical = bool(np.array_equal(seq_c, bat_c)
+                     and np.array_equal(seq_c, comp_c))
     speedup = seq_wall / bat_wall if bat_wall > 0 else 0.0
+    comp_vs_seq = seq_wall / comp_wall if comp_wall > 0 else 0.0
+    comp_vs_bat = bat_wall / comp_wall if comp_wall > 0 else 0.0
     overhead = measure_overhead()
 
     def round_stages(s):
@@ -61,12 +74,18 @@ def main() -> int:
         "workload": f"matmul {N}^3 functional, tiled_unrolled {TILE}x{TILE}",
         "sequential_seconds": round(seq_wall, 3),
         "batched_seconds": round(bat_wall, 3),
+        "compiled_seconds": round(comp_wall, 3),
         "sequential_stage_seconds": round_stages(seq_stages),
         "batched_stage_seconds": round_stages(bat_stages),
+        "compiled_stage_seconds": round_stages(comp_stages),
         "speedup": round(speedup, 2),
         "speedup_floor": SPEEDUP_FLOOR,
+        "compiled_speedup_vs_sequential": round(comp_vs_seq, 2),
+        "compiled_vs_sequential_floor": COMPILED_VS_SEQ_FLOOR,
+        "compiled_speedup_vs_batched": round(comp_vs_bat, 2),
+        "compiled_vs_batched_floor": COMPILED_VS_BATCHED_FLOOR,
         "bit_identical": identical,
-        "checksum": float(np.abs(bat_c).sum()),
+        "checksum": float(np.abs(comp_c).sum()),
         "profiler_overhead": overhead,
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
@@ -75,13 +94,24 @@ def main() -> int:
     print(tracer.format_tree())
 
     if not identical:
-        print("FAIL: batched result differs from sequential", file=sys.stderr)
+        print("FAIL: backend results differ bitwise", file=sys.stderr)
         return 1
     if speedup < SPEEDUP_FLOOR:
-        print(f"FAIL: speedup {speedup:.2f}x < {SPEEDUP_FLOOR}x floor",
+        print(f"FAIL: batched speedup {speedup:.2f}x < {SPEEDUP_FLOOR}x "
+              f"floor", file=sys.stderr)
+        return 1
+    if comp_vs_seq < COMPILED_VS_SEQ_FLOOR:
+        print(f"FAIL: compiled speedup {comp_vs_seq:.2f}x < "
+              f"{COMPILED_VS_SEQ_FLOOR}x floor vs sequential",
               file=sys.stderr)
         return 1
-    print(f"OK: batched backend {speedup:.2f}x faster, bit-identical")
+    if comp_vs_bat < COMPILED_VS_BATCHED_FLOOR:
+        print(f"FAIL: compiled speedup {comp_vs_bat:.2f}x < "
+              f"{COMPILED_VS_BATCHED_FLOOR}x floor vs batched",
+              file=sys.stderr)
+        return 1
+    print(f"OK: batched {speedup:.2f}x, compiled {comp_vs_seq:.2f}x over "
+          f"sequential ({comp_vs_bat:.2f}x over batched), bit-identical")
     return 0
 
 

@@ -21,6 +21,10 @@ The rules mirror the paper's optimization checklist:
 * **R5 batch safety** — constructs that break the
   ``BatchedExecutor``'s all-blocks-at-once widening, cross-checked
   against the kernel's declared ``batchable`` flag.
+* **R6 compilability** — whether the grid compiler
+  (:mod:`repro.compile`) can lower the kernel to a whole-grid
+  program; failures are INFO findings naming the construct so the
+  ``compiled`` executor's per-kernel fallback is visible in reports.
 """
 
 from __future__ import annotations
@@ -315,6 +319,27 @@ def rule_batch_safety(hazards: List[HazardEvent], kernel: str,
 
 
 # ----------------------------------------------------------------------
+# R6: grid compilability
+# ----------------------------------------------------------------------
+
+def rule_compilability(kernel, name: str) -> List[Finding]:
+    """INFO when the grid compiler cannot lower the kernel — the
+    ``compiled`` executor (and ``executor="auto"``) will fall back to
+    the batched interpreter for it.  Silent on success."""
+    from ..compile import compile_status
+    try:
+        ok, reason = compile_status(kernel)
+    except Exception as exc:       # analyzer must never die on this
+        ok, reason = False, f"{type(exc).__name__}: {exc}"
+    if ok:
+        return []
+    return [Finding(
+        "compile", Severity.INFO, name,
+        f"not grid-compilable ({reason}); the compiled executor falls "
+        f"back to the batched interpreter")]
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 
@@ -388,6 +413,7 @@ def analyze_target(target: LintTarget, app: str = "",
         nthreads, regs_declared, smem_bytes, name, spec)
     add(occ_findings)
     add(rule_batch_safety(hazards, name, declared))
+    add(rule_compilability(kernel, name))
     add([Finding("analysis", Severity.INFO, name, message, line or None)
          for line, message in notes])
 

@@ -1,0 +1,33 @@
+"""Grid-vectorizing kernel compiler.
+
+Lowers a DSL kernel's AST into one whole-grid NumPy program: thread
+loops become array axes ``(block, tz, ty, tx)``, ``__syncthreads()``
+becomes a compile-time program-point split, divergent branches become
+masked stores, and shared-memory tiles become per-block staging
+arrays.  The :class:`~repro.cuda.executors.CompiledExecutor` runs
+these programs with bit-identical results to the sequential
+interpreter, falling back per kernel when a construct is unsupported.
+"""
+
+from .lower import CompileError, LoweredFunction, LoweringSession
+from .program import (CompiledProgram, clear_program_cache,
+                      compile_kernel, compile_status, executable_for,
+                      get_program)
+from .runtime import NP_SHIM, GridPrelude, GridRT, LaneCount, prelude_for
+
+__all__ = [
+    "CompileError",
+    "CompiledProgram",
+    "GridPrelude",
+    "GridRT",
+    "LaneCount",
+    "LoweredFunction",
+    "LoweringSession",
+    "NP_SHIM",
+    "clear_program_cache",
+    "compile_kernel",
+    "compile_status",
+    "executable_for",
+    "get_program",
+    "prelude_for",
+]

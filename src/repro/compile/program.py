@@ -1,0 +1,103 @@
+"""Compiled-program construction and caching.
+
+A :class:`CompiledProgram` is the AOT artifact for one kernel: a
+single Python function ``entry(__rt, *args)`` over a
+:class:`~repro.compile.runtime.GridRT` that executes every lane of a
+block range in one shot.  Programs (and compile *failures*) are
+cached per kernel function object, so repeated launches — including
+launches of fresh :func:`build_kernel` closures — pay the AST pass at
+most once per kernel object.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..cuda.launch import Kernel
+from .lower import CompileError, LoweringSession
+from .runtime import NP_SHIM, GridPrelude, prelude_for
+
+__all__ = ["CompiledProgram", "compile_kernel", "get_program",
+           "compile_status", "executable_for", "clear_program_cache"]
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """AOT artifact for one kernel."""
+
+    kernel_name: str
+    entry: object          # callable(__rt, *launch_args)
+    source: str            # unparsed lowered kernel (debug aid)
+    sync_points: int       # barriers deleted during lowering
+    lowered_ops: int       # ctx.* call sites rewritten to __rt.*
+    helpers: int           # transitively lowered helper functions
+
+
+#: fn -> CompiledProgram | CompileError.  Keyed on the *function*
+#: object (kernels are frozen dataclasses wrapping fn); weak keys let
+#: throwaway build_kernel closures be collected along with their
+#: programs.
+_PROGRAMS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def compile_kernel(kernel: Kernel) -> CompiledProgram:
+    """Lower ``kernel`` to a whole-grid program (uncached).
+
+    Raises :class:`CompileError` for kernels outside the supported
+    construct set, and for kernels declared ``batchable=False`` —
+    whole-grid execution reorders lanes exactly the way the batched
+    interpreter does, so the batchable contract is the correctness
+    gate for compilation too.
+    """
+    if not kernel.batchable:
+        raise CompileError(
+            f"kernel {kernel.name!r} is declared batchable=False "
+            f"(order-sensitive); whole-grid lowering would reorder "
+            f"its effects")
+    session = LoweringSession(NP_SHIM)
+    lowered = session.lower_function(kernel.fn, ctx_positions=(0,))
+    return CompiledProgram(
+        kernel_name=kernel.name,
+        entry=lowered.callable,
+        source=lowered.source,
+        sync_points=session.sync_points,
+        lowered_ops=session.lowered_ops,
+        helpers=session.helper_count)
+
+
+def get_program(kernel: Kernel) -> CompiledProgram:
+    """Cached :func:`compile_kernel`; failures are cached too."""
+    cached = _PROGRAMS.get(kernel.fn)
+    if cached is None:
+        try:
+            cached = compile_kernel(kernel)
+        except CompileError as exc:
+            cached = exc
+        try:
+            _PROGRAMS[kernel.fn] = cached
+        except TypeError:          # unweakrefable callable: skip cache
+            pass
+    if isinstance(cached, CompileError):
+        raise cached
+    return cached
+
+
+def compile_status(kernel: Kernel) -> Tuple[bool, str]:
+    """Non-raising probe: ``(ok, reason)``; reason empty on success."""
+    try:
+        get_program(kernel)
+    except CompileError as exc:
+        return False, str(exc)
+    return True, ""
+
+
+def executable_for(plan) -> Tuple[CompiledProgram, GridPrelude]:
+    """Program plus the (cached) grid prelude for one launch plan."""
+    return get_program(plan.kernel), prelude_for(plan.grid, plan.block)
+
+
+def clear_program_cache() -> None:
+    """Drop every cached program and failure (tests use this)."""
+    _PROGRAMS.clear()

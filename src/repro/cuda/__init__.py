@@ -34,6 +34,7 @@ from .launch import Kernel, LaunchResult, kernel, launch
 from .plan import LaunchPlan
 from .executors import (
     BatchedExecutor,
+    CompiledExecutor,
     Executor,
     ProcessPoolExecutor,
     SequentialExecutor,
@@ -61,6 +62,7 @@ __all__ = [
     "Executor",
     "SequentialExecutor",
     "BatchedExecutor",
+    "CompiledExecutor",
     "ProcessPoolExecutor",
     "choose_executor",
     "resolve_executor",

@@ -133,6 +133,18 @@ CTX_OPS: Dict[str, CtxOp] = {
     "global_tid": CtxOp("identity", "int"),
 }
 
+#: data attributes of a :class:`BlockContext` that kernels may read.
+#: Like :data:`CTX_OPS` for methods, this is the authoritative list the
+#: static tooling works from — the grid compiler
+#: (:mod:`repro.compile`) lowers each of these to the equivalent
+#: whole-grid identity value and refuses kernels touching anything
+#: else on ``ctx``.
+CTX_ATTRS: Tuple[str, ...] = (
+    "tx", "ty", "tz", "tid", "bx", "by", "bz", "block_linear",
+    "nthreads", "threads_per_block", "nwarps", "blockDim", "gridDim",
+    "mask", "spec", "kernel_name",
+)
+
 
 class BlockContext:
     """Execution context of one thread block (see module docstring)."""

@@ -21,6 +21,15 @@ and reports per-block results to a
     cross-block data dependences within one launch); non-batchable
     kernels silently fall back to sequential execution.
 
+``CompiledExecutor``
+    Runs the whole untraced functional sweep as one AOT-compiled
+    NumPy program per kernel (see :mod:`repro.compile`): the kernel's
+    AST is lowered once so thread loops become array axes and every
+    block of a launch executes as slices of a single
+    ``(blocks, tz, ty, tx)`` vector program.  Bit-identical to the
+    sequential backend for batchable kernels; unsupported kernels
+    fall back per kernel to the batched interpreter.
+
 ``ProcessPoolExecutor``
     Opt-in: shards untraced functional block ranges across forked
     worker processes and merges their device-array writes back through
@@ -29,8 +38,8 @@ and reports per-block results to a
     same launch) and a platform with ``fork``.
 
 Use :func:`resolve_executor` (or ``launch(..., executor=...)``) to go
-from ``None`` / ``"sequential"`` / ``"batched"`` / ``"process"`` /
-``"auto"`` / an instance to a backend.
+from ``None`` / ``"sequential"`` / ``"batched"`` / ``"compiled"`` /
+``"process"`` / ``"auto"`` / an instance to a backend.
 """
 
 from __future__ import annotations
@@ -308,6 +317,144 @@ class BatchedExecutor(Executor):
 
 
 # ----------------------------------------------------------------------
+# Compiled (whole-grid AOT) execution
+# ----------------------------------------------------------------------
+
+class CompiledExecutor(Executor):
+    """Run an AOT-compiled whole-grid NumPy program per kernel.
+
+    The grid compiler (:mod:`repro.compile`) lowers the kernel's AST
+    once — thread loops become array axes, ``__syncthreads()`` becomes
+    a compile-time program-point split, divergent branches become
+    masked stores — and every untraced functional block then executes
+    as slices of one ``(blocks, tz, ty, tx)`` NumPy program.  Lane
+    order equals the batched executor's block-major order, so results
+    are bit-identical to the sequential backend for every
+    ``batchable`` kernel; kernels the compiler cannot lower (or
+    declared ``batchable=False``) fall back per kernel to the batched
+    interpreter, recorded on the ``executor.compile_fallbacks``
+    counter.
+
+    Traced blocks are handled per ``trace_source``:
+
+    ``"blocks"`` (default)
+        The grid splits into contiguous compiled segments around each
+        traced block, which runs through a scalar
+        :class:`BlockContext` at its ordered position — traces *and*
+        outputs stay bit-identical to sequential execution.
+
+    ``"census"``
+        Traced blocks also run compiled; their traces are synthesized
+        from the static :class:`~repro.analysis.census.KernelCensus`
+        of the launch geometry (one mean block trace merged per traced
+        block).  Fastest, but trace counters are the analyzer's
+        approximation and no instruction stream is recorded, so
+        stream-recording launches fall back to ``"blocks"``.
+    """
+
+    name = "compiled"
+
+    def __init__(self, max_lanes: int = 1 << 20,
+                 trace_source: str = "blocks") -> None:
+        if max_lanes < 1:
+            raise ValueError("max_lanes must be positive")
+        if trace_source not in ("blocks", "census"):
+            raise ValueError(
+                f"trace_source must be 'blocks' or 'census', "
+                f"got {trace_source!r}")
+        self.max_lanes = max_lanes
+        self.trace_source = trace_source
+
+    def _run(self, plan, collector: TraceCollector) -> int:
+        from ..compile import (CompileError, GridRT, get_program,
+                               prelude_for)
+        registry = get_registry()
+        program = None
+        if plan.functional:
+            try:
+                program = get_program(plan.kernel)
+            except CompileError:
+                pass
+        if program is None:
+            if registry.enabled:
+                registry.counter("executor.compile_fallbacks",
+                                 kernel=plan.kernel.name).inc()
+            return BatchedExecutor()._run(plan, collector)
+
+        prelude = prelude_for(plan.grid, plan.block)
+        chunk_blocks = max(1, self.max_lanes // plan.block.size)
+        executed = 0
+
+        def run_range(start: int, stop: int) -> None:
+            nonlocal executed
+            s = start
+            while s < stop:
+                e = min(stop, s + chunk_blocks)
+                rt = GridRT(prelude, s, e, plan.spec, plan.kernel.name)
+                program.entry(rt, *plan.args)
+                executed += e - s
+                s = e
+            if stop > start and registry.enabled:
+                registry.histogram("executor.compiled_blocks",
+                                   kernel=plan.kernel.name).observe(
+                                       stop - start)
+
+        if plan.traced and self.trace_source == "census" \
+                and not plan.record_stream \
+                and self._merge_census(plan, collector):
+            run_range(0, plan.grid.size)
+            return executed
+
+        # Only the traced sample needs per-block classification; every
+        # other block is PLAIN by definition and runs inside a compiled
+        # segment (walking all of block_ids() through classify() would
+        # cost a Python iteration per block for a known answer).
+        seg_start = 0
+        for linear in sorted(plan.traced):
+            mode = collector.classify(linear)
+            if mode == TRACE:
+                run_range(seg_start, linear)   # keep block order intact
+                _execute_single(plan, collector, linear, TRACE)
+                executed += 1
+                seg_start = linear + 1
+            # MEMO blocks stay in the compiled segment: the launch is
+            # functional, so they still execute (their trace was merged
+            # from the cache by classify()).
+        run_range(seg_start, plan.grid.size)
+        collector.dispositions[PLAIN] += plan.grid.size - len(plan.traced)
+        return executed
+
+    def _merge_census(self, plan, collector: TraceCollector) -> bool:
+        """Synthesize traced-block counters from the static census;
+        returns False (caller falls back to exact per-block tracing)
+        when the analyzer cannot handle the kernel."""
+        from ..analysis.census import census_target
+        from ..analysis.targets import LintArray, LintTarget
+        try:
+            args = tuple(
+                LintArray(a.name, getattr(a, "space", "global"),
+                          a.size, str(a.data.dtype))
+                if isinstance(a, DeviceArray) else a
+                for a in plan.args)
+            grid, block = plan.grid, plan.block
+            target = LintTarget(
+                kernel=plan.kernel, grid=(grid.x, grid.y, grid.z),
+                block=(block.x, block.y, block.z), args=args,
+                note="census-trace")
+            census = census_target(target, plan.spec)
+        except Exception:
+            return False
+        block_trace = census.block_trace
+        block_trace.blocks_traced = 1
+        for _linear in plan.traced:
+            collector.merged.merge(block_trace)
+            collector.dispositions[TRACE] += 1
+        collector.smem_bytes = max(collector.smem_bytes,
+                                   census.smem_bytes)
+        return True
+
+
+# ----------------------------------------------------------------------
 # Process-pool execution
 # ----------------------------------------------------------------------
 
@@ -455,16 +602,32 @@ class ProcessPoolExecutor(Executor):
 EXECUTORS = {
     "sequential": SequentialExecutor,
     "batched": BatchedExecutor,
+    "compiled": CompiledExecutor,
     "process": ProcessPoolExecutor,
 }
 
+#: grids with fewer untraced blocks than this go straight to the
+#: sequential backend under ``"auto"`` — below the width at which
+#: batching/compilation amortizes its per-launch bookkeeping
+MIN_VECTOR_BLOCKS = 4
+
 
 def choose_executor(plan) -> Executor:
-    """The ``"auto"`` policy: batch the functional sweep whenever the
-    kernel allows it and there is enough untraced work to amortize the
-    batching bookkeeping; otherwise stay on the reference backend."""
+    """The ``"auto"`` policy, fastest-first:
+
+    1. tiny grids (fewer untraced blocks than the vectorization floor)
+       run sequentially — nothing to amortize;
+    2. batchable kernels the grid compiler has (or can build) a
+       program for run compiled;
+    3. batchable kernels it cannot lower run batched;
+    4. everything else runs on the reference backend.
+    """
+    from ..compile import compile_status
     untraced = plan.num_blocks - len(plan.traced)
-    if plan.functional and plan.kernel.batchable and untraced >= 4:
+    if plan.functional and plan.kernel.batchable \
+            and untraced >= MIN_VECTOR_BLOCKS:
+        if compile_status(plan.kernel)[0]:
+            return CompiledExecutor()
         return BatchedExecutor()
     return SequentialExecutor()
 

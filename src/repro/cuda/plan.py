@@ -14,9 +14,11 @@ it is now three explicit layers:
     Pluggable backends that walk the plan's blocks: the reference
     ``SequentialExecutor`` (one :class:`BlockContext` per block, the
     original semantics), the ``BatchedExecutor`` (vectorizes the
-    untraced functional sweep across many homogeneous blocks at once)
-    and the opt-in ``ProcessPoolExecutor`` (shards block ranges across
-    forked workers).
+    untraced functional sweep across many homogeneous blocks at once),
+    the ``CompiledExecutor`` (runs a whole-grid NumPy program lowered
+    AOT from the kernel's AST by :mod:`repro.compile`) and the opt-in
+    ``ProcessPoolExecutor`` (shards block ranges across forked
+    workers).
 
 :class:`repro.trace.collector.TraceCollector`
     Owns trace merging, sample-to-grid scaling, stream recording and
@@ -181,6 +183,23 @@ class LaunchPlan:
         if self.functional:
             return range(self.grid.size)
         return self.traced
+
+    def arg_signature(self) -> Tuple:
+        """Hashable description of the launch arguments: memory space,
+        dtype and element count for device arrays, type and value for
+        scalars.  Combined with the kernel name and block shape this
+        keys anything cached per launch *configuration* — compiled-
+        program preludes, census-synthesized traces — without holding
+        references to the arrays themselves."""
+        from .memory import DeviceArray
+        parts = []
+        for a in self.args:
+            if isinstance(a, DeviceArray):
+                parts.append((getattr(a, "space", "global"),
+                              str(a.data.dtype), a.size))
+            else:
+                parts.append((type(a).__name__, a))
+        return (self.kernel.name, self.block, tuple(parts))
 
     def equivalence_class(self, linear: int) -> Tuple:
         """Memoization key of one block: kernel identity, block shape

@@ -137,6 +137,46 @@ class LaunchRecord:
                 rec.occupancy = est.occupancy.describe()
         return rec
 
+    @classmethod
+    def from_census(cls, census) -> "LaunchRecord":
+        """Synthesize a record from a static
+        :class:`~repro.analysis.census.KernelCensus` — no execution.
+
+        This is how launches that never ran (or ran compiled with
+        ``trace_source="census"``) still surface nvprof-style counters:
+        the census's grid-extrapolated trace fills the same fields a
+        dynamic trace would, with the executor marked ``"census"`` and
+        all stage timings zero.
+        """
+        trace = census.trace
+        per_array = {name: round(stats.transactions_per_access, 4)
+                     for name, stats in sorted(trace.per_array.items())}
+        return cls(
+            kernel=census.label,
+            grid="x".join(str(d) for d in census.grid),
+            block="x".join(str(d) for d in census.block),
+            executor="census",
+            blocks_total=census.num_blocks,
+            blocks_executed=0,
+            blocks_traced=census.blocks_sampled,
+            memo_hits=0,
+            dispositions={},
+            stage_seconds={},
+            warp_insts=trace.total_warp_insts,
+            flops=trace.flops,
+            global_transactions=trace.global_transactions,
+            global_warp_accesses=sum(s.warp_accesses
+                                     for s in trace.per_array.values()),
+            global_bus_bytes=trace.global_bus_bytes,
+            transactions_per_access=per_array,
+            bank_conflict_cycles=trace.shared_conflict_cycles,
+            cache={"const_hits": trace.const_hits,
+                   "const_misses": trace.const_misses,
+                   "tex_hits": trace.tex_hits,
+                   "tex_misses": trace.tex_misses},
+            syncs=trace.syncs,
+        )
+
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
