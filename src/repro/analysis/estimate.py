@@ -3,13 +3,14 @@
 The paper's optimization workflow is analytical: before running
 anything, Ryoo et al. bound a kernel three ways and compare —
 
-* **compute bound** — FP-useful issue-slot fraction times the 345.6
-  GFLOPS SP peak (plus parallel-SFU credit up to 388.8):
-  ``1/8 * 345.6 = 43.2`` for naive matmul, ``16/59 * 345.6 = 93.72``
-  after tiling + unrolling;
+* **compute bound** — FP-useful issue-slot fraction times the active
+  device's SP multiply-add peak (plus parallel-SFU credit up to the
+  co-issue peak): on the paper's G80, ``1/8`` of peak for naive
+  matmul and ``16/59`` of peak after tiling + unrolling;
 * **bandwidth bound** — the off-chip traffic the kernel needs per
-  flop against the 86.4 GB/s DRAM peak: naive matmul demands
-  173 GB/s at full rate, so bandwidth halves its potential;
+  flop against the device's DRAM peak: naive matmul demands roughly
+  double the G80's pin bandwidth at full rate, so bandwidth halves
+  its potential;
 * **occupancy-capped issue bound** — issue slots on the critical SM,
   degraded by memory latency the resident warps cannot cover: the
   term that punishes a 4x4 tile (2 warps/block) or a register-pressure
@@ -60,7 +61,8 @@ class PerfEstimate:
     # -- the three Section-4 bounds ------------------------------------
     @property
     def compute_bound_gflops(self) -> float:
-        """FP-useful fraction x peak issue rate (345.6/388.8 ceiling)."""
+        """FP-useful fraction x the device's peak issue rate (SP peak,
+        with SFU co-issue credit up to the combined peak)."""
         return self.bounds.potential_gflops
 
     @property

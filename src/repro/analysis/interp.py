@@ -348,9 +348,10 @@ class LintContext:
                        mask: np.ndarray) -> None:
         """Static coalescing outcome of one global access event, using
         the same :func:`coalesce_block_access` the simulator applies to
-        real addresses.  A data-dependent index (a gather/scatter) is
-        charged pessimistically: one transaction per active thread, the
-        CUDA 1.x serialization rule."""
+        real addresses (so the device's coalescing rule is honoured).
+        A data-dependent index (a gather/scatter) is charged
+        pessimistically: one transaction per active thread at the
+        minimum bus granularity."""
         nthreads = mask.shape[0]
         value = index_sym.concrete_value()
         if value is not None:
@@ -362,8 +363,8 @@ class LintContext:
             n = int(mask.sum())
             if n == 0:
                 return
-            hw = self.spec.half_warp
-            wa = -(-n // hw)
+            group = self.spec.coalesce_group
+            wa = -(-n // group)
             txn = n
             bus = n * max(itemsize, self.spec.min_transaction_bytes)
             useful = n * itemsize
@@ -382,34 +383,37 @@ class LintContext:
                                  (nthreads,))
                  * max(1, array.itemsize // 4) + array.word_offset)
         accesses, degree = block_bank_conflicts(words, mask, self.spec)
+        group_share = self.spec.shared_access_group / self.spec.warp_size
         extra = (degree - accesses) * (
-            self.spec.timing.issue_cycles_per_warp_inst / 2.0)
+            self.spec.timing.issue_cycles_per_warp_inst * group_share)
         if extra:
             self.census.record_shared_conflict(extra)
 
     def _census_const(self, index_sym: SymVal, mask: np.ndarray) -> None:
         """Constant-cache broadcast serialization: threads of a
-        half-warp reading different words serialize one word/cycle."""
+        coalescing group reading different words serialize one
+        word/cycle."""
         value = index_sym.concrete_value()
         if value is None:
             return
         nthreads = mask.shape[0]
         words = np.broadcast_to(np.asarray(value, dtype=np.int64),
                                 (nthreads,))
-        hw = self.spec.half_warp
-        pad = (-nthreads) % hw
+        group = self.spec.coalesce_group
+        group_share = group / self.spec.warp_size
+        pad = (-nthreads) % group
         w = np.concatenate([words, np.zeros(pad, np.int64)]) if pad \
             else words
         m = np.concatenate([mask, np.zeros(pad, bool)]) if pad else mask
-        rows_w = w.reshape(-1, hw)
-        rows_m = m.reshape(-1, hw)
+        rows_w = w.reshape(-1, group)
+        rows_m = m.reshape(-1, group)
         extra = 0.0
         for r in range(rows_w.shape[0]):
             if not rows_m[r].any():
                 continue
             distinct = len(np.unique(rows_w[r][rows_m[r]]))
             extra += (distinct - 1) * (
-                self.spec.timing.issue_cycles_per_warp_inst / 2.0)
+                self.spec.timing.issue_cycles_per_warp_inst * group_share)
         if extra:
             self.census.record_shared_conflict(extra)
 

@@ -8,6 +8,7 @@ Usage::
     python -m repro.analysis.lint --fail-on high   # CI gate
     python -m repro.analysis.lint --estimate       # + static PerfEstimate
     python -m repro.analysis.lint --advise         # + optimization advice
+    python -m repro.analysis.lint --device gtx_480 # another device profile
 
 Each application contributes the representative launch geometries it
 declares via :meth:`repro.apps.base.Application.lint_targets`; every
@@ -26,9 +27,13 @@ additionally runs the optimization advisor
 (:mod:`repro.analysis.advisor`), whose ranked transformation advice is
 appended to each report's findings at ``info`` severity.
 
-JSON output is an object ``{"schema_version": N, "reports": [...]}``
-with findings sorted by ``(kernel, line, rule)`` so CI diffs are
-deterministic.
+``--device NAME`` analyzes against any registered device profile
+(:mod:`repro.arch.registry`) — coalescing verdicts, occupancy and
+estimates all follow that device's rules.
+
+JSON output is an object ``{"schema_version": N, "device": NAME,
+"reports": [...]}`` with findings sorted by ``(kernel, line, rule)``
+so CI diffs are deterministic.
 """
 
 from __future__ import annotations
@@ -43,7 +48,8 @@ from .findings import Finding, KernelReport, Severity
 from .rules import analyze_target
 
 #: version of the ``--json`` envelope; bump on shape changes
-JSON_SCHEMA_VERSION = 2
+#: (v3 added the top-level "device" field)
+JSON_SCHEMA_VERSION = 3
 
 
 def _finding_sort_key(finding: Finding):
@@ -111,10 +117,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--advise", action="store_true",
                         help="rank optimization passes by predicted "
                              "payoff (implies --estimate)")
+    parser.add_argument("--device", metavar="NAME",
+                        default="geforce_8800_gtx",
+                        help="registered device profile to analyze "
+                             "against (see repro.arch.registry)")
     args = parser.parse_args(argv)
 
+    from ..arch.registry import device_by_name
+    try:
+        spec = device_by_name(args.device)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
     threshold = Severity.parse(args.fail_on) if args.fail_on else None
-    reports = lint_apps(args.apps or None)
+    reports = lint_apps(args.apps or None, spec)
 
     estimates = {}
     advisor_reports = {}
@@ -124,12 +141,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .estimate import estimate_target
         index = 0
         for name in (args.apps or None) or _registered_names():
-            for target in get_app(name).lint_targets():
+            for target in get_app(name, spec).lint_targets():
                 report = reports[index]
-                est = estimate_target(target)
+                est = estimate_target(target, spec)
                 estimates[id(report)] = est
                 if args.advise:
-                    adv = advise_estimate(est)
+                    adv = advise_estimate(est, spec=spec)
                     advisor_reports[id(report)] = adv
                     report.findings.extend(adv.findings())
                 index += 1
@@ -149,6 +166,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 entry["advice"] = [a.to_dict() for a in adv.advice]
             payload.append(entry)
         print(json.dumps({"schema_version": JSON_SCHEMA_VERSION,
+                          "device": args.device,
                           "reports": payload}, indent=2))
     else:
         from .advisor import format_advice

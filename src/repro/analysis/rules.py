@@ -11,9 +11,11 @@ The rules mirror the paper's optimization checklist:
 * **R1 barriers** — ``__syncthreads`` under divergent control flow,
   and shared-memory store→load pairs with no intervening barrier
   whose lanes can alias (Section 5.1 / correctness).
-* **R2 coalescing** — global-memory index shape per half-warp against
-  the 16-word segment rule (Section 3.2 / 4.1).
-* **R3 shared memory** — bank-conflict degree mod 16 (Section 5.1)
+* **R2 coalescing** — global-memory index shape per coalescing group
+  against the device's rule: aligned segments on CUDA 1.x
+  (Section 3.2 / 4.1), cache lines on Fermi and later.
+* **R3 shared memory** — bank-conflict degree mod the device's bank
+  count (Section 5.1)
   and static bounds violations; constant reads with a varying index
   (serialized broadcast).
 * **R4 resources** — occupancy from register/shared pressure, cliff
@@ -199,25 +201,32 @@ def rule_memory(events: List[object], nthreads: int, kernel: str,
         severity = Severity.MEDIUM if cur["exact"] else Severity.INFO
         qualifier = "" if cur["exact"] else " (under a data-dependent mask)"
         if space == "global":
+            if spec.has_cached_global_loads:
+                rule_desc = (f"{spec.cache_line_bytes} B cache-line rule")
+            else:
+                rule_desc = (f"{spec.coalesce_segment_words}-word segment "
+                             f"rule, Section 3.2")
+            group_desc = (f"{spec.coalesce_group}-thread group")
             if cur["pattern"] == "data-dependent":
                 # a gather is a gather whatever the mask's provenance
                 findings.append(Finding(
                     "coalescing", Severity.MEDIUM, kernel,
                     f"data-dependent {ev.op} index on {array!r}: "
-                    f"cannot coalesce a gather/scatter (16-word segment "
-                    f"rule, Section 3.2)", line, array=array))
+                    f"cannot coalesce a gather/scatter ({rule_desc})",
+                    line, array=array))
             elif cur["coalesced"] is False:
                 findings.append(Finding(
                     "coalescing", severity, kernel,
                     f"uncoalesced {ev.op} on {array!r}: pattern "
                     f"{cur['pattern']}{qualifier} — one transaction per "
-                    f"active thread instead of one per half-warp", line,
-                    array=array))
+                    f"active thread instead of one per {group_desc}",
+                    line, array=array))
         elif space == "shared" and int(cur["degree"]) > 1:
             findings.append(Finding(
                 "bank-conflict", severity, kernel,
                 f"{cur['degree']}-way bank conflict on shared {array!r} "
-                f"(16 banks, word-interleaved; Section 5.1)",
+                f"({spec.shared_mem_banks} banks, word-interleaved; "
+                f"Section 5.1)",
                 line, array=array))
     return findings, summaries
 

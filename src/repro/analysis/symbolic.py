@@ -471,13 +471,13 @@ def classify_global(index: SymLike, mask: Optional[np.ndarray],
     active = np.ones(nthreads, dtype=bool) if mask is None \
         else np.asarray(mask, dtype=bool)
 
-    hw = spec.half_warp
-    pad = (-nthreads) % hw
+    group = spec.coalesce_group
+    pad = (-nthreads) % group
     if pad:
         lanes = np.concatenate([lanes, np.zeros(pad, dtype=np.int64)])
         active = np.concatenate([active, np.zeros(pad, dtype=bool)])
-    addr_rows = (lanes * itemsize).reshape(-1, hw)
-    act_rows = active.reshape(-1, hw)
+    addr_rows = (lanes * itemsize).reshape(-1, group)
+    act_rows = active.reshape(-1, group)
 
     worst = "coalesced"
     all_coalesced = True
@@ -519,9 +519,10 @@ def classify_shared(index: SymLike, mask: Optional[np.ndarray],
                     ) -> Tuple[str, Optional[int]]:
     """Bank-conflict verdict for a shared access (Section 5.1).
 
-    Returns ``(pattern, degree)``; ``degree`` is the worst half-warp
-    conflict degree, or ``None`` when unknown.  A value whose unknown
-    terms all carry 16-divisible coefficients still gets a definite
+    Returns ``(pattern, degree)``; ``degree`` is the worst
+    access-group conflict degree, or ``None`` when unknown.  A value
+    whose unknown terms all carry bank-count-divisible coefficients
+    still gets a definite
     *conflict-free* verdict whenever its concrete residues hit
     distinct banks — the unknown parts cannot change the bank.
     """
@@ -536,7 +537,7 @@ def classify_shared(index: SymLike, mask: Optional[np.ndarray],
     if value is not None:
         words = np.broadcast_to(np.asarray(value, dtype=np.int64),
                                 (nthreads,)) * word_scale + word_offset
-        hw = spec.half_warp
+        hw = spec.shared_access_group
         pad = (-nthreads) % hw
         w = np.concatenate([words, np.zeros(pad, dtype=np.int64)]) \
             if pad else words
@@ -558,7 +559,7 @@ def classify_shared(index: SymLike, mask: Optional[np.ndarray],
     residues = (np.broadcast_to(np.asarray(sym.lanes, dtype=np.int64),
                                 (nthreads,)) * word_scale
                 + word_offset) % nbanks
-    hw = spec.half_warp
+    hw = spec.shared_access_group
     pad = (-nthreads) % hw
     r = np.concatenate([residues, np.zeros(pad, dtype=np.int64)]) \
         if pad else residues

@@ -2,7 +2,8 @@
 
 The analyzer's value rests on its verdicts *agreeing with the
 simulator*: a statically "coalesced" array must show 1.0 transactions
-per half-warp access when the kernel actually runs, a "conflict-free"
+per coalescing-group access when the kernel actually runs, a
+"conflict-free"
 shared buffer must produce zero bank-conflict serialization cycles,
 and the occupancy the analyzer predicts from declared resources must
 match what :func:`repro.sim.occupancy.occupancy_for_launch` computes
@@ -285,8 +286,8 @@ def estimator_checks(spec: DeviceSpec = DEFAULT_DEVICE,
             predicted(lo) < predicted(hi)
             and simulated(lo) < simulated(hi)))
 
-    # 3. the closed-form anchors (Section 4.1's 1/8 * 345.6 = 43.2 and
-    #    Section 4.3's 16/59 * 345.6 = 93.72)
+    # 3. the closed-form anchors (Section 4.1's 1/8-of-peak = 43.2 and
+    #    Section 4.3's 16/59-of-peak = 93.72, paper-computed G80 numbers)
     naive = by_label["matmul/naive"][0]
     unrolled = by_label["matmul/tiled_unrolled"][0]
     checks.append(Check(

@@ -1,21 +1,50 @@
-"""Hardware description of the simulated GeForce 8800 GTX.
+"""Hardware description of the simulated GPUs.
 
 Public entry points:
 
 * :class:`~repro.arch.device.DeviceSpec` — every microarchitectural
-  constant the paper quotes, plus the calibrated timing parameters;
-* :func:`~repro.arch.device.geforce_8800_gtx` — the paper's platform;
+  constant and generation capability, plus calibrated timing
+  parameters;
+* :func:`~repro.arch.device.geforce_8800_gtx` — the paper's platform
+  (also :data:`~repro.arch.device.DEFAULT_DEVICE`);
+* :func:`~repro.arch.device.gtx_480` / :func:`~repro.arch.device.rtx_3090`
+  — later-generation profiles with cached global memory;
+* :func:`~repro.arch.registry.device_by_name` — resolve a profile from
+  its registered name (the ``--device`` CLI flags go through this);
 * :func:`~repro.arch.memory_table.memory_table` — the rows of Table 1.
 """
 
-from .device import DeviceSpec, TimingParams, geforce_8800_gtx, DEFAULT_DEVICE
+from .device import (
+    CACHED_LINE,
+    DEFAULT_DEVICE,
+    DeviceSpec,
+    STRICT_SEGMENT,
+    TimingParams,
+    geforce_8600_gts,
+    geforce_8800_gts,
+    geforce_8800_gtx,
+    gtx_480,
+    rtx_3090,
+    timing_for_fabric,
+)
 from .memory_table import MemorySpaceInfo, memory_table, format_memory_table
+from .registry import device_by_name, device_names, register_device
 
 __all__ = [
+    "CACHED_LINE",
+    "STRICT_SEGMENT",
     "DeviceSpec",
     "TimingParams",
+    "timing_for_fabric",
+    "geforce_8600_gts",
+    "geforce_8800_gts",
     "geforce_8800_gtx",
+    "gtx_480",
+    "rtx_3090",
     "DEFAULT_DEVICE",
+    "device_by_name",
+    "device_names",
+    "register_device",
     "MemorySpaceInfo",
     "memory_table",
     "format_memory_table",

@@ -1,7 +1,8 @@
-"""Hardware description of the simulated GPU.
+"""Hardware description of the simulated GPUs.
 
 This module is the single source of truth for every microarchitectural
-constant the paper quotes for the GeForce 8800 GTX (Section 3.2 and
+constant the simulator uses.  The default :class:`DeviceSpec` is the
+paper's evaluation platform, the GeForce 8800 GTX (Section 3.2 and
 Table 1 of Ryoo et al., PPoPP'08):
 
 * 16 streaming multiprocessors (SMs), each with 8 streaming processors
@@ -16,16 +17,26 @@ Table 1 of Ryoo et al., PPoPP'08):
 * global memory accesses coalesce into contiguous 16-word (64 B)
   lines per half-warp.
 
+Generation-specific *behaviour* — not just sizes — also travels with
+the spec: the coalescing rule (strict half-warp segments on CUDA 1.x
+vs. cache-line gathering per warp on Fermi and later), the coalescing
+group width, L1/L2 cache geometry, the configurable shared/L1 split,
+and the occupancy limit table (see :meth:`DeviceSpec.occupancy_limit_table`).
 Everything downstream (occupancy calculator, coalescing model, timing
 models, benchmark harness) reads these values from a :class:`DeviceSpec`
-instance instead of hard-coding them, so alternative devices can be
-modeled by constructing a different spec.
+instance instead of hard-coding them, so alternative devices are
+modeled by constructing a different spec.  Named profiles are resolved
+through :mod:`repro.arch.registry`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Tuple
+
+#: coalescing-rule names understood by :mod:`repro.sim.memsys`
+STRICT_SEGMENT = "strict-segment"   # CUDA 1.x: thread k -> word k of a segment
+CACHED_LINE = "cached-line"         # Fermi+: distinct cache lines per warp
 
 
 @dataclass(frozen=True)
@@ -45,20 +56,20 @@ class TimingParams:
         Public microbenchmarks of the G80 place this in the 400-600
         cycle range.
     dram_efficiency:
-        Fraction of the 86.4 GB/s pin bandwidth achievable by a
-        perfectly coalesced stream (DRAM paging, refresh and command
-        overheads).
+        Fraction of the pin bandwidth achievable by a perfectly
+        coalesced stream (DRAM paging, refresh and command overheads).
     uncoalesced_replay_cycles:
         SP issue cycles charged per serialized transaction of an
-        uncoalesced half-warp access: the load/store unit replays the
-        access once per transaction, blocking instruction issue
-        (CUDA 1.x "16 separate memory transactions" behaviour).
+        uncoalesced access: the load/store unit replays the access
+        once per transaction, blocking instruction issue (the CUDA 1.x
+        "16 separate memory transactions" behaviour; cached devices
+        replay far more cheaply).
     issue_cycles_per_warp_inst:
         SP cycles to issue one instruction for a full warp
-        (32 threads / 8 SPs = 4 cycles on the G80).
+        (``warp_size / sps_per_sm``; see :func:`timing_for_fabric`).
     sfu_cycles_per_warp_inst:
         SFU-pipe occupancy of one transcendental warp instruction
-        (32 threads / 2 SFUs = 16 cycles).
+        (``warp_size / sfus_per_sm``).
     sync_cycles:
         Amortized cost of a ``__syncthreads()`` barrier per warp.
     kernel_launch_overhead_s:
@@ -80,19 +91,48 @@ class TimingParams:
     memory_queue_depth: int = 8
 
 
+def timing_for_fabric(sps_per_sm: int, sfus_per_sm: int,
+                      warp_size: int = 32, **overrides: float) -> TimingParams:
+    """Derive issue-width timing parameters from the compute fabric.
+
+    A warp instruction occupies the SP pipes for ``warp_size /
+    sps_per_sm`` cycles (4 on the G80's 8-SP SM, 1 on a 32-SP Fermi
+    SM) and the SFU pipe for ``warp_size / sfus_per_sm`` cycles.
+    Remaining parameters stay at their defaults unless overridden —
+    device factories pass their per-device calibration here.
+    """
+    params = dict(
+        issue_cycles_per_warp_inst=warp_size / sps_per_sm,
+        sfu_cycles_per_warp_inst=warp_size / sfus_per_sm,
+    )
+    params.update(overrides)
+    return TimingParams(**params)
+
+
 @dataclass(frozen=True)
 class DeviceSpec:
     """Full microarchitectural description of a CUDA-generation GPU."""
 
     name: str = "GeForce 8800 GTX"
 
-    # --- compute fabric ---------------------------------------------------
+    # --- generation / capability layer -------------------------------------
+    generation: str = "tesla"            # marketing architecture name
+    compute_capability: Tuple[int, int] = (1, 0)
+    #: how global accesses turn into transactions: STRICT_SEGMENT or
+    #: CACHED_LINE (see module docstring and repro.sim.memsys)
+    coalescing_rule: str = STRICT_SEGMENT
+    #: threads whose global accesses are resolved together — a
+    #: half-warp on CUDA 1.x devices, a full warp on Fermi and later
+    coalesce_group: int = 16
+
+    # --- compute fabric ----------------------------------------------------
     num_sms: int = 16
     sps_per_sm: int = 8
     sfus_per_sm: int = 2
     sp_clock_ghz: float = 1.35
     warp_size: int = 32
     half_warp: int = 16
+    warp_schedulers_per_sm: int = 1
 
     # --- per-SM scheduling limits (Section 3.2) ---------------------------
     registers_per_sm: int = 8192
@@ -102,6 +142,9 @@ class DeviceSpec:
     max_threads_per_block: int = 512
     max_grid_dim: int = 2 ** 16 - 1
     register_alloc_granularity: int = 1
+    #: explicit resident-warp ceiling (0 = only the thread limit
+    #: applies, as on CUDA 1.x where 768 / 32 is not separately capped)
+    max_resident_warps_per_sm: int = 0
 
     # --- memory system -----------------------------------------------------
     dram_bandwidth_gbs: float = 86.4
@@ -112,6 +155,13 @@ class DeviceSpec:
     constant_mem_bytes: int = 64 * 1024
     constant_cache_bytes_per_sm: int = 8 * 1024
     texture_cache_bytes_per_sm: int = 8 * 1024
+    #: global-memory cache geometry (0 = uncached global path)
+    cache_line_bytes: int = 0
+    l1_cache_bytes_per_sm: int = 0
+    l2_cache_bytes: int = 0
+    #: unified shared/L1 pool for devices with a configurable split
+    #: (0 = the shared-memory size is fixed)
+    shared_l1_total_bytes: int = 0
 
     # --- host link (PCIe x16, 2007-era sustained rates) --------------------
     h2d_bandwidth_gbs: float = 1.5
@@ -131,20 +181,27 @@ class DeviceSpec:
 
     @property
     def max_warps_per_sm(self) -> int:
-        """Maximum resident warps per SM (24 = 768 / 32 on the G80)."""
-        return self.max_threads_per_sm // self.warp_size
+        """Maximum resident warps per SM (24 = 768 / 32 on the G80).
+
+        Devices that declare an explicit resident-warp ceiling (Fermi
+        and later) are capped by it as well.
+        """
+        derived = self.max_threads_per_sm // self.warp_size
+        if self.max_resident_warps_per_sm:
+            return min(derived, self.max_resident_warps_per_sm)
+        return derived
 
     @property
     def peak_mad_gflops(self) -> float:
-        """Peak multiply-add throughput: 345.6 GFLOPS on the G80."""
+        """Peak multiply-add throughput (345.6 GFLOPS on the G80)."""
         return self.num_sps * 2 * self.sp_clock_ghz
 
     @property
     def peak_gflops_with_sfu(self) -> float:
-        """Peak including SFU co-issue: 388.8 GFLOPS on the G80.
+        """Peak including SFU co-issue (388.8 GFLOPS on the G80).
 
-        The paper counts 18 FLOPS per SM per cycle: 8 SPs x 2 (MAD)
-        plus 2 SFUs contributing one flop each.
+        The paper counts, per SM per cycle, two flops per SP (MAD)
+        plus one per SFU.
         """
         flops_per_sm = self.sps_per_sm * 2 + self.sfus_per_sm
         return self.num_sms * flops_per_sm * self.sp_clock_ghz
@@ -155,24 +212,89 @@ class DeviceSpec:
         return self.coalesce_segment_bytes // 4
 
     @property
+    def has_cached_global_loads(self) -> bool:
+        """True when the global path goes through an L1/L2 hierarchy."""
+        return self.coalescing_rule == CACHED_LINE and self.cache_line_bytes > 0
+
+    @property
+    def shared_access_group(self) -> int:
+        """Lanes whose shared-memory accesses are resolved together:
+        a half-warp on 16-bank devices, a full warp on 32-bank ones."""
+        return self.half_warp if self.shared_mem_banks <= 16 else self.warp_size
+
+    @property
     def dram_bandwidth_bytes_per_cycle(self) -> float:
         """Aggregate DRAM bandwidth expressed in bytes per SP cycle."""
         return self.dram_bandwidth_gbs / self.sp_clock_ghz
 
     @property
     def max_active_threads(self) -> int:
-        """Device-wide simultaneously active thread limit (12288)."""
+        """Device-wide simultaneously active thread limit."""
         return self.num_sms * self.max_threads_per_sm
+
+    # ------------------------------------------------------------------
+    # Occupancy limit table
+    # ------------------------------------------------------------------
+    def occupancy_limit_table(self, threads_per_block: int,
+                              regs_per_thread: int,
+                              smem_per_block: int = 0) -> Dict[str, int]:
+        """Per-resource blocks-per-SM ceilings for one configuration.
+
+        The classic CUDA 1.x limits are blocks, threads, registers and
+        shared memory; devices that declare an explicit resident-warp
+        ceiling contribute a fifth ``"warps"`` entry, and devices with
+        a coarse register-allocation granularity round each warp's
+        register footprint up to it before dividing the register file.
+        The binding limit is whichever entry is smallest (see
+        :func:`repro.sim.occupancy.compute_occupancy`).
+        """
+        limits: Dict[str, int] = {
+            "blocks": self.max_blocks_per_sm,
+            "threads": self.max_threads_per_sm // threads_per_block,
+        }
+        warps_per_block = -(-threads_per_block // self.warp_size)
+        if self.max_resident_warps_per_sm:
+            limits["warps"] = self.max_resident_warps_per_sm // warps_per_block
+        gran = self.register_alloc_granularity
+        if gran > 1:
+            per_warp = -(-regs_per_thread * self.warp_size // gran) * gran
+            regs_per_block = per_warp * warps_per_block
+        else:
+            regs_per_block = regs_per_thread * threads_per_block
+        limits["registers"] = (self.registers_per_sm // regs_per_block
+                               if regs_per_block else self.max_blocks_per_sm)
+        limits["shared"] = (self.shared_mem_per_sm // smem_per_block
+                            if smem_per_block else self.max_blocks_per_sm)
+        return limits
 
     # ------------------------------------------------------------------
     def with_timing(self, **updates: float) -> "DeviceSpec":
         """Return a copy of this spec with timing parameters overridden."""
         return replace(self, timing=replace(self.timing, **updates))
 
+    def with_shared_split(self, shared_bytes: int) -> "DeviceSpec":
+        """Reconfigure the unified shared/L1 pool (Fermi's
+        ``cudaFuncCachePrefer*`` knob): ``shared_bytes`` goes to shared
+        memory, the remainder of the pool to L1."""
+        if not self.shared_l1_total_bytes:
+            raise ValueError(
+                f"{self.name} has a fixed shared-memory size")
+        l1 = self.shared_l1_total_bytes - shared_bytes
+        if shared_bytes <= 0 or l1 <= 0:
+            raise ValueError(
+                f"split {shared_bytes} B exceeds the "
+                f"{self.shared_l1_total_bytes} B shared/L1 pool")
+        if self.cache_line_bytes and l1 % self.cache_line_bytes:
+            raise ValueError("L1 share must be a whole number of lines")
+        return replace(self, shared_mem_per_sm=shared_bytes,
+                       l1_cache_bytes_per_sm=l1)
+
     def describe(self) -> Dict[str, object]:
         """Summary dictionary used by the benchmark harness."""
-        return {
+        out = {
             "name": self.name,
+            "generation": self.generation,
+            "compute capability": ".".join(map(str, self.compute_capability)),
             "SMs": self.num_sms,
             "SPs/SM": self.sps_per_sm,
             "SP clock (GHz)": self.sp_clock_ghz,
@@ -183,13 +305,18 @@ class DeviceSpec:
             "DRAM bandwidth (GB/s)": self.dram_bandwidth_gbs,
             "peak MAD GFLOPS": self.peak_mad_gflops,
             "peak GFLOPS (with SFU)": self.peak_gflops_with_sfu,
+            "coalescing": f"{self.coalescing_rule} x{self.coalesce_group}",
         }
+        if self.has_cached_global_loads:
+            out["L1/SM (KB)"] = self.l1_cache_bytes_per_sm // 1024
+            out["L2 (KB)"] = self.l2_cache_bytes // 1024
+        return out
 
 
 def geforce_8800_gtx() -> DeviceSpec:
     """The paper's evaluation platform with calibrated timing defaults.
 
-    The timing parameters below are the frozen output of
+    The timing parameters are the frozen output of
     :func:`repro.sim.calibration.calibrate` run against the Section 4
     matrix-multiplication anchors (10.58 / 46.49 / 91.14 / 87.10
     GFLOPS); see EXPERIMENTS.md for the fit residuals.
@@ -225,8 +352,122 @@ def geforce_8600_gts() -> DeviceSpec:
     )
 
 
-#: The family members used by the scaling study.
-DEVICE_FAMILY = ("geforce_8600_gts", "geforce_8800_gts", "geforce_8800_gtx")
+def gtx_480() -> DeviceSpec:
+    """A Fermi-generation (compute 2.0) profile: the GeForce GTX 480.
+
+    The behavioural differences from the G80, not just the sizes, are
+    what the cross-device study exercises:
+
+    * global loads go through an L1/L2 hierarchy and coalesce per full
+      warp into 128 B cache lines — any permutation within a line
+      costs one transaction, so the G80's strict thread-k/word-k rule
+      disappears;
+    * each 32-SP SM issues a warp instruction per cycle, shared memory
+      has 32 banks, and registers are allocated per warp in units of
+      64;
+    * up to 1536 resident threads but also an explicit 48-warp
+      ceiling, with 1024-thread blocks — tile sizes the G80 cannot
+      even schedule become legal (the autotuner's shifted winner);
+    * a 64 KB shared/L1 pool configurable as 48/16 or 16/48
+      (:meth:`DeviceSpec.with_shared_split`).
+
+    Timing parameters are fit per device (see
+    ``python -m repro.sim.calibration --device gtx_480``).
+    """
+    return DeviceSpec(
+        name="GeForce GTX 480",
+        generation="fermi",
+        compute_capability=(2, 0),
+        coalescing_rule=CACHED_LINE,
+        coalesce_group=32,
+        num_sms=15,
+        sps_per_sm=32,
+        sfus_per_sm=4,
+        sp_clock_ghz=1.401,
+        warp_schedulers_per_sm=2,
+        registers_per_sm=32768,
+        shared_mem_per_sm=48 * 1024,
+        max_threads_per_sm=1536,
+        max_blocks_per_sm=8,
+        max_threads_per_block=1024,
+        register_alloc_granularity=64,
+        max_resident_warps_per_sm=48,
+        dram_bandwidth_gbs=177.4,
+        dram_capacity_bytes=1536 * 1024 * 1024,
+        coalesce_segment_bytes=128,
+        min_transaction_bytes=32,
+        shared_mem_banks=32,
+        texture_cache_bytes_per_sm=12 * 1024,
+        cache_line_bytes=128,
+        l1_cache_bytes_per_sm=16 * 1024,
+        l2_cache_bytes=768 * 1024,
+        shared_l1_total_bytes=64 * 1024,
+        h2d_bandwidth_gbs=5.7,
+        d2h_bandwidth_gbs=5.3,
+        transfer_overhead_s=10e-6,
+        timing=timing_for_fabric(
+            32, 4,
+            global_latency_cycles=600.0,
+            dram_efficiency=0.75,
+            uncoalesced_replay_cycles=1.0,
+            sync_cycles=2.0,
+            kernel_launch_overhead_s=7e-6,
+            memory_queue_depth=16,
+        ),
+    )
+
+
+def rtx_3090() -> DeviceSpec:
+    """A modern-class (Ampere, compute 8.6) profile: the RTX 3090.
+
+    Included to stretch the abstraction far beyond the paper's era:
+    two orders of magnitude more FP32 throughput than the G80 against
+    only one order more bandwidth, so kernels that were issue-bound in
+    2008 are bandwidth-bound here.
+    """
+    return DeviceSpec(
+        name="GeForce RTX 3090",
+        generation="ampere",
+        compute_capability=(8, 6),
+        coalescing_rule=CACHED_LINE,
+        coalesce_group=32,
+        num_sms=82,
+        sps_per_sm=128,
+        sfus_per_sm=4,
+        sp_clock_ghz=1.695,
+        warp_schedulers_per_sm=4,
+        registers_per_sm=65536,
+        shared_mem_per_sm=100 * 1024,
+        max_threads_per_sm=1536,
+        max_blocks_per_sm=16,
+        max_threads_per_block=1024,
+        max_grid_dim=2 ** 31 - 1,
+        register_alloc_granularity=256,
+        max_resident_warps_per_sm=48,
+        dram_bandwidth_gbs=936.2,
+        dram_capacity_bytes=24 * 1024 * 1024 * 1024,
+        coalesce_segment_bytes=128,
+        min_transaction_bytes=32,
+        shared_mem_banks=32,
+        texture_cache_bytes_per_sm=16 * 1024,
+        cache_line_bytes=128,
+        l1_cache_bytes_per_sm=28 * 1024,
+        l2_cache_bytes=6 * 1024 * 1024,
+        shared_l1_total_bytes=128 * 1024,
+        h2d_bandwidth_gbs=12.0,
+        d2h_bandwidth_gbs=12.0,
+        transfer_overhead_s=6e-6,
+        timing=timing_for_fabric(
+            128, 4,
+            global_latency_cycles=470.0,
+            dram_efficiency=0.85,
+            uncoalesced_replay_cycles=1.0,
+            sync_cycles=2.0,
+            kernel_launch_overhead_s=4e-6,
+            memory_queue_depth=32,
+        ),
+    )
+
 
 #: Device-wide default used throughout the package when no spec is given.
 DEFAULT_DEVICE = geforce_8800_gtx()

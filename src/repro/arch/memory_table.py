@@ -53,7 +53,22 @@ def memory_table(spec: DeviceSpec = DEFAULT_DEVICE) -> List[MemorySpaceInfo]:
     register-speed for on-chip SRAM, hundreds of cycles for DRAM.
     """
     t = spec.timing
-    dram_lat = f"~{int(t.global_latency_cycles)} cycles (uncached)"
+    if spec.has_cached_global_loads:
+        dram_lat = (f"~{int(t.global_latency_cycles)} cycles "
+                    f"(L1/L2 cached)")
+        global_desc = (
+            "Large DRAM directly addressable by all threads; accesses "
+            "coalesce into {line} B cache lines per warp through a "
+            "{l1} KB L1 and {l2} KB L2".format(
+                line=spec.cache_line_bytes,
+                l1=spec.l1_cache_bytes_per_sm // 1024,
+                l2=spec.l2_cache_bytes // 1024))
+    else:
+        dram_lat = f"~{int(t.global_latency_cycles)} cycles (uncached)"
+        global_desc = (
+            "Large DRAM directly addressable by all threads; accesses "
+            "coalesce into {seg} B lines per half-warp".format(
+                seg=spec.coalesce_segment_bytes))
     return [
         MemorySpaceInfo(
             name="Global",
@@ -61,13 +76,9 @@ def memory_table(spec: DeviceSpec = DEFAULT_DEVICE) -> List[MemorySpaceInfo]:
             size=f"{spec.dram_capacity_bytes // (1024 * 1024)} MB total",
             hit_latency=dram_lat,
             read_only=False,
-            cached=False,
+            cached=spec.has_cached_global_loads,
             scope="grid (all threads)",
-            description=(
-                "Large DRAM directly addressable by all threads; accesses "
-                "coalesce into {seg} B lines per half-warp".format(
-                    seg=spec.coalesce_segment_bytes)
-            ),
+            description=global_desc,
         ),
         MemorySpaceInfo(
             name="Shared",

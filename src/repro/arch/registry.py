@@ -1,0 +1,71 @@
+"""Name -> factory registry of modeled devices.
+
+Replaces the old ``DEVICE_FAMILY`` string tuple: every profile the
+simulator knows is registered here under its factory name, CLIs
+resolve ``--device NAME`` through :func:`device_by_name`, and adding a
+device is one :func:`register_device` call (or a decorated factory) —
+no downstream code enumerates devices by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .device import (
+    DeviceSpec,
+    geforce_8600_gts,
+    geforce_8800_gts,
+    geforce_8800_gtx,
+    gtx_480,
+    rtx_3090,
+)
+
+DeviceFactory = Callable[[], DeviceSpec]
+
+_REGISTRY: Dict[str, DeviceFactory] = {}
+
+
+def register_device(name: str, factory: DeviceFactory = None,
+                    *, overwrite: bool = False):
+    """Register ``factory`` under ``name``.
+
+    Usable directly or as a decorator::
+
+        @register_device("my_gpu")
+        def my_gpu() -> DeviceSpec: ...
+    """
+    def _register(f: DeviceFactory) -> DeviceFactory:
+        if name in _REGISTRY and not overwrite:
+            raise ValueError(f"device {name!r} is already registered")
+        _REGISTRY[name] = f
+        return f
+
+    if factory is None:
+        return _register
+    return _register(factory)
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Construct the spec registered under ``name``.
+
+    Raises ``KeyError`` listing the known names when ``name`` is not
+    registered, so CLI typos fail with the menu in hand.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known devices: "
+            f"{', '.join(device_names())}") from None
+    return factory()
+
+
+def device_names() -> List[str]:
+    """Sorted names of every registered device."""
+    return sorted(_REGISTRY)
+
+
+for _factory in (geforce_8600_gts, geforce_8800_gts, geforce_8800_gtx,
+                 gtx_480, rtx_3090):
+    register_device(_factory.__name__, _factory)
+del _factory

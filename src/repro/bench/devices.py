@@ -1,0 +1,169 @@
+"""Cross-device retuning benchmark: ladder + autotuner per device.
+
+The paper's Section 4 tuning study is specific to one device: every
+bound, occupancy cliff and coalescing verdict is a G80 number.  This
+benchmark replays the study across the registered device profiles
+(:mod:`repro.arch.registry`) and records what *moves* — the modelled
+GFLOPS of the four-variant matmul ladder, and the configuration the
+autotuner crowns on each device.  The headline result is the winner
+shift: the G80's best configuration (16x16 tiled + unrolled) is not
+the best on Fermi-class parts, whose larger thread-block and
+shared-memory budgets admit tile sizes the G80 cannot schedule.
+
+Command line::
+
+    python -m repro.bench.devices                    # default devices
+    python -m repro.bench.devices --devices geforce_8800_gtx gtx_480
+    python -m repro.bench.devices --n 256 --out BENCH_devices.json
+
+Writes ``BENCH_devices.json`` (CI artifact) with one entry per device:
+ladder GFLOPS per variant, the autotuner winner, its GFLOPS, and the
+pruning statistics of the estimator-guided search.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..arch.registry import device_by_name
+from ..sim.autotuner import MatmulAutotuner
+from .tables import format_table
+
+#: profiles the benchmark sweeps by default: the paper's device, the
+#: Fermi-class part, and a modern-class part
+DEFAULT_DEVICES = ("geforce_8800_gtx", "gtx_480", "rtx_3090")
+
+#: matmul variants of the Section 4 ladder, in paper order
+LADDER_VARIANTS = ("naive", "tiled", "tiled_unrolled", "prefetch")
+
+
+def run_ladder(spec, n: int = 512, trace_blocks: int = 2
+               ) -> Dict[str, float]:
+    """Modelled GFLOPS of the Section 4 ladder (16x16 tiles) on
+    ``spec``."""
+    from ..apps.matmul import MatMul
+    app = MatMul(spec)
+    out = {}
+    for variant in LADDER_VARIANTS:
+        run = app.run({"n": n, "variant": variant, "tile": 16,
+                       "trace_blocks": trace_blocks}, functional=False)
+        out[variant] = round(run.launches[0].estimate().gflops, 2)
+    return out
+
+
+def tune_device(spec, n: int = 512, trace_blocks: int = 2,
+                prune: bool = True) -> Dict[str, object]:
+    """Autotune the matmul space on ``spec``; returns the winner and
+    the search statistics."""
+    tuner = MatmulAutotuner(n=n, trace_blocks=trace_blocks, spec=spec)
+    result = tuner.exhaustive(prune=prune)
+    best = result.best
+    return {
+        "tile_sizes": list(tuner.tiles),
+        "space_size": len(tuner.space()),
+        "evaluated": len(result.evaluations),
+        "pruned": len(result.pruned),
+        "winner": {"tile": best.tile, "unrolled": best.unrolled,
+                   "prefetch": best.prefetch,
+                   "label": best.config.label},
+        "winner_gflops": round(result.best_gflops, 2),
+        "local_maxima": [
+            {"tile": p.tile, "unrolled": p.unrolled, "prefetch": p.prefetch,
+             "gflops": round(g, 2)}
+            for p, g in result.local_maxima],
+    }
+
+
+def run_devices(names: Sequence[str] = DEFAULT_DEVICES, n: int = 512,
+                trace_blocks: int = 2, prune: bool = True
+                ) -> List[Dict[str, object]]:
+    """Ladder + retune for each named device profile."""
+    entries = []
+    for name in names:
+        spec = device_by_name(name)
+        entries.append({
+            "device": name,
+            "generation": spec.generation,
+            "compute_capability": list(spec.compute_capability),
+            "peak_mad_gflops": round(spec.peak_mad_gflops, 1),
+            "dram_bandwidth_gbs": spec.dram_bandwidth_gbs,
+            "n": n,
+            "ladder_gflops": run_ladder(spec, n, trace_blocks),
+            "autotune": tune_device(spec, n, trace_blocks, prune),
+        })
+    return entries
+
+
+def format_entries(entries: Sequence[Dict[str, object]]) -> str:
+    headers = ["device", "peak", "naive", "tiled", "unrolled", "prefetch",
+               "winner", "winner GFLOPS", "eval/pruned"]
+    rows = []
+    for e in entries:
+        ladder = e["ladder_gflops"]
+        tune = e["autotune"]
+        rows.append([
+            e["device"],
+            f"{e['peak_mad_gflops']:.0f}",
+            f"{ladder['naive']:.1f}",
+            f"{ladder['tiled']:.1f}",
+            f"{ladder['tiled_unrolled']:.1f}",
+            f"{ladder['prefetch']:.1f}",
+            tune["winner"]["label"],
+            f"{tune['winner_gflops']:.1f}",
+            f"{tune['evaluated']}/{tune['pruned']}",
+        ])
+    return format_table(headers, rows,
+                        title="cross-device matmul ladder + retune "
+                              "(modelled GFLOPS)")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.devices",
+        description="Section 4 matmul ladder and autotuner winner "
+                    "across registered device profiles")
+    parser.add_argument("--devices", nargs="+", default=list(DEFAULT_DEVICES),
+                        help="registered device names to sweep")
+    parser.add_argument("--n", type=int, default=512,
+                        help="matrix size for the ladder and the tuner")
+    parser.add_argument("--trace-blocks", type=int, default=2)
+    parser.add_argument("--no-prune", action="store_true",
+                        help="exhaustive evaluation without static-bound "
+                             "pruning")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the JSON payload here "
+                             "(default: BENCH_devices.json in the CWD)")
+    args = parser.parse_args(argv)
+
+    try:
+        entries = run_devices(args.devices, n=args.n,
+                              trace_blocks=args.trace_blocks,
+                              prune=not args.no_prune)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    print(format_entries(entries))
+    winners = {e["device"]: e["autotune"]["winner"]["label"]
+               for e in entries}
+    if len(set(winners.values())) > 1:
+        print("note: autotuner winner shifts across devices: "
+              + ", ".join(f"{d} -> {w}" for d, w in winners.items()))
+
+    payload = {
+        "benchmark": "cross_device_retune",
+        "n": args.n,
+        "devices": entries,
+    }
+    out = Path(args.out) if args.out else Path("BENCH_devices.json")
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -12,6 +12,7 @@ Command line::
     python -m repro.bench.profile_report matmul --json
     python -m repro.bench.profile_report lbm --chrome-trace trace.json
     python -m repro.bench.profile_report matmul --overhead-gate 5
+    python -m repro.bench.profile_report matmul --device gtx_480
 
 For ``matmul`` the report covers the Section 4 optimization ladder
 (naive / tiled / tiled_unrolled / prefetch); any other registry app
@@ -29,6 +30,7 @@ import sys
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..arch.device import DEFAULT_DEVICE, DeviceSpec
 from ..obs.profiler import LaunchProfiler, LaunchRecord, STAGES
 from .tables import format_table
 
@@ -104,10 +106,11 @@ def format_metrics(profiler: LaunchProfiler) -> str:
 
 def profile_matmul(scale: str = "test", executor=None,
                    variants: Sequence[str] = MATMUL_VARIANTS,
+                   spec: DeviceSpec = DEFAULT_DEVICE,
                    ) -> Tuple[LaunchProfiler, List[Dict[str, object]]]:
     """Profile the Section 4 matmul ladder; returns (profiler, configs)."""
     from ..apps.matmul import MatMul
-    app = MatMul()
+    app = MatMul(spec)
     if executor is not None:
         app.executor = executor
     if scale == "full":
@@ -125,12 +128,13 @@ def profile_matmul(scale: str = "test", executor=None,
 
 
 def profile_app(name: str, scale: str = "test", executor=None,
+                spec: DeviceSpec = DEFAULT_DEVICE,
                 ) -> Tuple[LaunchProfiler, List[Dict[str, object]]]:
     """Profile one suite application's default workload."""
     if name == "matmul":
-        return profile_matmul(scale=scale, executor=executor)
+        return profile_matmul(scale=scale, executor=executor, spec=spec)
     from ..apps.registry import get_app
-    app = get_app(name)
+    app = get_app(name, spec)
     if executor is not None:
         app.executor = executor
     workload = app.default_workload(scale)
@@ -231,10 +235,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default=None,
                         help="fail if profiling overhead exceeds PCT%% "
                              "vs. a disabled-observability run")
+    parser.add_argument("--device", metavar="NAME",
+                        default="geforce_8800_gtx",
+                        help="registered device profile to simulate "
+                             "(see repro.arch.registry)")
     args = parser.parse_args(argv)
 
+    from ..arch.registry import device_by_name
+    try:
+        spec = device_by_name(args.device)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
     profiler, configs = profile_app(args.app, scale=args.scale,
-                                    executor=args.executor)
+                                    executor=args.executor, spec=spec)
     if len(configs) == len(profiler.records):
         paired = zip(profiler.records, configs)
     else:   # one workload, several launches (multi-kernel apps)
@@ -249,12 +264,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     lint_reports = None
     if args.lint:
         from ..analysis.lint import lint_app
-        lint_reports = lint_app(args.app)
+        lint_reports = lint_app(args.app, spec)
 
     estimates = None
     if args.estimate:
         from ..analysis.estimate import estimate_app
-        estimates = estimate_app(args.app)
+        estimates = estimate_app(args.app, spec)
 
     if args.chrome_trace:
         profiler.tracer.write_chrome_trace(args.chrome_trace)
@@ -263,6 +278,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         payload = {
             "app": args.app,
             "scale": args.scale,
+            "device": args.device,
             "records": records,
             "metrics": profiler.registry.to_dict(),
         }
@@ -276,7 +292,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         print(format_records(profiler.records,
                              title=f"launch profile: {args.app} "
-                                   f"({args.scale} scale)"))
+                                   f"({args.scale} scale, {args.device})"))
         if lint_reports is not None:
             print()
             print("static analysis:")

@@ -481,9 +481,11 @@ class BlockContext:
             return
         accesses, degree = block_bank_conflicts(
             sh.word_indices(idx), mask, self.spec)
-        # each extra serialization pass costs half-warp issue time
+        # each extra serialization pass costs one access group's share
+        # of the warp issue time (a half-warp on 16-bank devices)
+        group_share = self.spec.shared_access_group / self.spec.warp_size
         extra = (degree - accesses) * (
-            self.spec.timing.issue_cycles_per_warp_inst / 2.0)
+            self.spec.timing.issue_cycles_per_warp_inst * group_share)
         if extra:
             self.trace.record_shared_conflict(extra)
 
@@ -525,10 +527,10 @@ class BlockContext:
         self._emit(InstrClass.ATOM_GLOBAL)
         if self.trace is not None:
             n = int(mask.sum())
-            hw = self.spec.half_warp
+            group = self.spec.coalesce_group
             self.trace.record_global_access(
                 arr.name,
-                warp_accesses=-(-n // hw),
+                warp_accesses=-(-n // group),
                 transactions=n,
                 bus_bytes=n * self.spec.min_transaction_bytes,
                 useful_bytes=n * arr.itemsize,
@@ -541,8 +543,20 @@ class BlockContext:
                        mask: np.ndarray) -> Optional[Tuple[float, float]]:
         if self.trace is None:
             return None
+        addresses = arr.addresses(idx)
         wa, txn, bus, useful, coal = coalesce_block_access(
-            arr.addresses(idx), mask, arr.itemsize, self.spec)
+            addresses, mask, arr.itemsize, self.spec)
+        hierarchy = self.caches.get("global")
+        if hierarchy is not None:
+            # Cached global path: only lines missing in every level
+            # occupy the DRAM bus; the transaction count (issue-side
+            # cost) is the classifier's verdict either way.
+            out = hierarchy.access(addresses, mask, arr.itemsize)
+            if hierarchy.l1 is not None:
+                self.trace.record_cache("l1", out.l1_hits, out.l1_misses)
+            if hierarchy.l2 is not None:
+                self.trace.record_cache("l2", out.l2_hits, out.l2_misses)
+            bus = out.dram_lines * hierarchy.line_bytes
         self.trace.record_global_access(arr.name, wa, txn, bus, useful, coal)
         warps = max(self._active_warps(mask), 1)
         return (txn / warps, bus / warps)
@@ -557,23 +571,26 @@ class BlockContext:
         arr.check_bounds(idx, mask)
         self._emit(cls)
         if self.trace is not None and space == "const":
-            # The constant cache broadcasts ONE word per cycle to a
-            # half-warp; threads reading different addresses serialize
-            # (Section 5.2's "care must be taken" applies here too).
-            hw = self.spec.half_warp
-            pad = (-idx.shape[0]) % hw
+            # The constant cache broadcasts ONE word per cycle to each
+            # coalescing group (a half-warp on the G80, a warp on
+            # later devices); threads reading different addresses
+            # serialize (Section 5.2's "care must be taken").
+            group = self.spec.coalesce_group
+            group_share = group / self.spec.warp_size
+            pad = (-idx.shape[0]) % group
             words = np.concatenate([idx, np.zeros(pad, np.int64)]) \
                 if pad else idx
             m = np.concatenate([mask, np.zeros(pad, bool)]) if pad else mask
-            rows_w = words.reshape(-1, hw)
-            rows_m = m.reshape(-1, hw)
+            rows_w = words.reshape(-1, group)
+            rows_m = m.reshape(-1, group)
             uniform = ((rows_w == rows_w[:, :1]) | ~rows_m).all(axis=1)
             extra = 0.0
             for r in np.nonzero(~uniform)[0]:
                 if rows_m[r].any():
                     distinct = len(np.unique(rows_w[r][rows_m[r]]))
                     extra += (distinct - 1) * (
-                        self.spec.timing.issue_cycles_per_warp_inst / 2.0)
+                        self.spec.timing.issue_cycles_per_warp_inst
+                        * group_share)
             if extra:
                 self.trace.record_shared_conflict(extra)
         if self.trace is not None:

@@ -39,7 +39,7 @@ import numpy as np
 
 from ..arch.device import DeviceSpec
 from ..obs.spans import span
-from ..sim.memsys import DirectMappedCache
+from ..sim.memsys import CacheHierarchy, DirectMappedCache
 from ..trace.trace import KernelTrace
 from .dim3 import Dim3, DimLike, as_dim3
 from .context import BlockContext
@@ -112,7 +112,9 @@ class LaunchPlan:
     #: (opt-in: collapses per-class cache statistics onto one block)
     memoize: bool = False
     traced: Tuple[int, ...] = ()
-    caches: Dict[str, DirectMappedCache] = field(default_factory=dict)
+    #: "const"/"tex" read-only caches, plus a "global" CacheHierarchy
+    #: on devices whose global loads are cached (Fermi and later)
+    caches: Dict[str, object] = field(default_factory=dict)
     #: wall time spent in :meth:`build` (the pipeline's "plan" stage)
     build_seconds: float = 0.0
 
@@ -149,12 +151,14 @@ class LaunchPlan:
                     "zero blocks and return an empty trace; enable tracing "
                     "or run functionally")
             traced = tuple(sample_blocks(grid, trace_blocks)) if trace else ()
-            caches = {
+            caches: Dict[str, object] = {
                 "const": DirectMappedCache(spec.constant_cache_bytes_per_sm,
                                            space="const"),
                 "tex": DirectMappedCache(spec.texture_cache_bytes_per_sm,
                                          space="tex"),
             }
+            if spec.has_cached_global_loads:
+                caches["global"] = CacheHierarchy(spec)
             plan = cls(kernel=kern, grid=grid, block=block, args=args,
                        device=device, functional=functional,
                        trace_enabled=trace, trace_blocks=trace_blocks,

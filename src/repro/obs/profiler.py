@@ -186,8 +186,9 @@ class LaunchRecord:
 
     @property
     def overall_transactions_per_access(self) -> float:
-        """Launch-wide transactions per half-warp access (1.0 = every
-        access perfectly coalesced on the G80)."""
+        """Launch-wide transactions per coalescing-group access
+        (1.0 = every group — a half-warp on CUDA 1.x devices, a full
+        warp on cached ones — coalesced perfectly)."""
         if self.global_warp_accesses == 0:
             return 0.0
         return self.global_transactions / self.global_warp_accesses

@@ -18,10 +18,32 @@ greedy optimization strategies are unreliable on this architecture.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..apps.matmul import MatMul, MatmulConfig, TILE_SIZES
+from ..arch.device import DEFAULT_DEVICE, DeviceSpec
 from ..obs.registry import get_registry
+
+#: tile sizes beyond the paper's Figure 4 sweep that only later
+#: devices can schedule (a 24x24 or 32x32 block exceeds the G80's
+#: 512-thread block limit) — the source of the cross-device winner
+#: shift
+EXTENDED_TILE_SIZES = (24, 32)
+
+
+def device_tile_sizes(spec: DeviceSpec) -> Tuple[int, ...]:
+    """Tile sizes schedulable on ``spec``: the block must respect the
+    device's thread-per-block limit and both staged input tiles must
+    fit in shared memory.  On the paper's G80 this reproduces the
+    Figure 4 sweep exactly."""
+    tiles = []
+    for tile in TILE_SIZES + EXTENDED_TILE_SIZES:
+        threads = tile * tile
+        smem = 2 * tile * tile * 4
+        if threads <= spec.max_threads_per_block \
+                and smem <= spec.shared_mem_per_sm:
+            tiles.append(tile)
+    return tuple(tiles)
 
 #: safety margin on static ceilings when pruning: a configuration is
 #: only skipped when its closed-form bound plus this slack is still
@@ -60,10 +82,12 @@ class Point:
             return MatmulConfig("tiled_unrolled", self.tile)
         return MatmulConfig("tiled", self.tile)
 
-    def neighbors(self) -> List["Point"]:
-        """One-transformation-at-a-time moves (a greedy tuner's steps)."""
+    def neighbors(self, tile_sizes: Sequence[int] = TILE_SIZES
+                  ) -> List["Point"]:
+        """One-transformation-at-a-time moves (a greedy tuner's steps)
+        within the device's schedulable tile ladder."""
         out = []
-        tiles = (0,) + TILE_SIZES
+        tiles = (0,) + tuple(tile_sizes)
         i = tiles.index(self.tile)
         if i + 1 < len(tiles):
             out.append(Point(tiles[i + 1], self.unrolled and tiles[i+1] > 0,
@@ -97,20 +121,27 @@ class TuneResult:
 class MatmulAutotuner:
     """Exhaustive + greedy exploration of the matmul variant space."""
 
-    def __init__(self, n: int = 1024, trace_blocks: int = 2) -> None:
+    def __init__(self, n: int = 1024, trace_blocks: int = 2,
+                 spec: DeviceSpec = DEFAULT_DEVICE) -> None:
         self.n = n
         self.trace_blocks = trace_blocks
-        self.app = MatMul()
+        self.spec = spec
+        self.tiles = device_tile_sizes(spec)
+        self.app = MatMul(spec)
         self._cache: Dict[Point, float] = {}
         self._bound_cache: Dict[Point, float] = {}
 
     def space(self) -> List[Point]:
         points = [Point(0, False, False)]
-        for tile in TILE_SIZES:
+        for tile in self.tiles:
             for unrolled, prefetch in ((False, False), (True, False),
                                        (True, True)):
                 points.append(Point(tile, unrolled, prefetch))
         return points
+
+    def neighbors(self, point: Point) -> List[Point]:
+        """A point's moves within this device's tile ladder."""
+        return point.neighbors(self.tiles)
 
     def evaluate(self, point: Point) -> float:
         """Modelled GFLOPS of one configuration (memoized)."""
@@ -135,7 +166,7 @@ class MatmulAutotuner:
             target = LintTarget(build_kernel(cfg.variant, cfg.tile),
                                 (n // block, n // block), (block, block),
                                 args, note=cfg.label)
-            est = estimate_target(target)
+            est = estimate_target(target, self.spec)
             self._bound_cache[point] = est.static_bound_gflops
         return self._bound_cache[point]
 
@@ -177,7 +208,7 @@ class MatmulAutotuner:
         best = max(evals, key=evals.get)
         maxima = []
         for p, g in evals.items():
-            if all(g >= evals[q] for q in p.neighbors() if q in evals):
+            if all(g >= evals[q] for q in self.neighbors(p) if q in evals):
                 maxima.append((p, g))
         maxima.sort(key=lambda pg: -pg[1])
         return TuneResult(best, evals[best], evals, maxima, pruned)
@@ -193,7 +224,7 @@ class MatmulAutotuner:
         path = [start]
         while True:
             current_g = self.evaluate(current)
-            neighbors = [q for q in current.neighbors()]
+            neighbors = [q for q in self.neighbors(current)]
             if not neighbors:
                 break
             best_n = max(neighbors, key=self.evaluate)

@@ -5,18 +5,20 @@ numbers derived from the PTX:
 
 * **potential throughput** — the GFLOPS attainable if instruction issue
   is the only limit: the fraction of issue slots that are fused
-  multiply-adds times the 345.6 GFLOPS peak.  For the naive matmul the
-  paper computes ``1/8 * 345.6 = 43.2 GFLOPS``; for the unrolled tiled
-  version ``16/59 * 345.6 = 93.72 GFLOPS``.
+  multiply-adds times the device's multiply-add peak.  For the naive
+  matmul the paper computes ``1/8`` of the G80's peak; for the
+  unrolled tiled version ``16/59`` of peak.
 
 * **bandwidth demand** — the off-chip bandwidth the kernel would
   consume while running at its potential throughput.  For the naive
-  matmul: "1/4 of the operations ... are loads from off-chip memory,
-  which would require a bandwidth of 173 GB/s (128 SPs * 1/4
-  instructions * 4 B/instruction * 1.35GHz)".
+  matmul: "1/4 of the operations ... are loads from off-chip memory",
+  which at the G80's full issue rate demands roughly twice its pin
+  bandwidth (the paper's SPs x load-fraction x bytes x clock formula).
 
 These bounds are computed from a :class:`~repro.trace.trace.KernelTrace`
-so the same analysis applies to every application in the suite.
+against any :class:`~repro.arch.device.DeviceSpec` — both peaks come
+from the active spec — so the same analysis applies to every
+application and device profile in the suite.
 """
 
 from __future__ import annotations
@@ -63,7 +65,7 @@ def analyze_bounds(trace: KernelTrace,
     fma_frac = trace.fma_fraction
     potential = spec.peak_mad_gflops * fma_frac
     # SFU flops issue in parallel with the SP pipe; credit them on top,
-    # capped at the combined peak (the paper's 388.8 GFLOPS ceiling).
+    # capped at the device's combined SP+SFU peak.
     sfu_frac = trace.sfu_warp_insts / total_insts
     potential = min(potential + spec.peak_mad_gflops * sfu_frac * 0.5,
                     spec.peak_gflops_with_sfu)

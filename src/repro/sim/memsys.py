@@ -1,45 +1,55 @@
-"""Memory-system models: coalescing, bank conflicts, read-only caches.
+"""Memory-system models: coalescing, bank conflicts, caches.
 
-This module implements the G80 (CUDA 1.x) global-memory coalescing
-rules the paper's optimizations revolve around (Section 3.2):
+This module implements the global-memory coalescing rules as *data on
+the device spec*, not as code assumptions.  Two rules exist:
 
-    "this bandwidth can be obtained only when accesses are contiguous
-    16-word lines; in other cases the achievable bandwidth is a
-    fraction of the maximum."
+**Strict-segment rule** (CUDA 1.x, the paper's Section 3.2): a
+coalescing group (a half-warp) issues one memory transaction iff the
+k-th active thread accesses the k-th word of an aligned segment.  Any
+other pattern is *uncoalesced* and serialized into one transaction per
+active thread with a minimum-granularity bus charge.  Duplicate
+addresses are merged for DRAM *bus* accounting (the controller's read
+combining, cf. the paper's footnote 4) but still pay per-thread
+serialization in the memory pipeline.
 
-**Coalescing rule.**  A half-warp (16 threads) issues one memory
-transaction iff the k-th active thread accesses the k-th word of an
-aligned 16-word (64 B for 4-byte words) segment.  Any other pattern is
-*uncoalesced* and serialized into one transaction per active thread
-with a 32 B minimum granularity.  Duplicate addresses are merged for
-DRAM *bus* accounting (the controller's read combining, cf. the
-paper's footnote 4) but still pay per-thread serialization in the
-memory pipeline.
+**Cached-line rule** (Fermi and later): a full warp's accesses are
+gathered into the distinct cache lines they touch — one transaction
+per line, regardless of the permutation of threads within the lines.
+An access is coalesced when it touches no more lines than its useful
+bytes require; misaligned or strided patterns cost extra lines, not
+per-thread serialization.
 
-**Bank conflicts.**  Shared memory has 16 banks, word-interleaved; a
-half-warp access serializes by the maximum number of distinct words
-mapped to the same bank (conflict degree).  All threads reading the
-*same* word are served by a broadcast (degree 1).
+Which rule applies, and over how many threads, comes from
+``spec.coalescing_rule`` / ``spec.coalesce_group``.
+
+**Bank conflicts.**  Shared memory is word-interleaved over
+``spec.shared_mem_banks`` banks; an access group (half-warp on
+16-bank devices, full warp on 32-bank ones) serializes by the maximum
+number of distinct words mapped to the same bank (conflict degree).
+All threads reading the *same* word are served by a broadcast
+(degree 1).
 
 **Caches.**  Constant and texture reads go through small per-SM caches
-modeled with simple LRU-over-lines structures sized per
-:class:`~repro.arch.device.DeviceSpec`.
+modeled with simple direct-mapped line structures sized per
+:class:`~repro.arch.device.DeviceSpec`; devices with cached global
+loads additionally route them through a two-level
+:class:`CacheHierarchy`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from ..arch.device import DeviceSpec, DEFAULT_DEVICE
+from ..arch.device import CACHED_LINE, DeviceSpec, DEFAULT_DEVICE
 from ..obs.registry import get_registry
 
 
 @dataclass(frozen=True)
 class CoalesceResult:
-    """Outcome of one half-warp global access event."""
+    """Outcome of one coalescing-group global access event."""
 
     coalesced: bool
     transactions: int          # serialized transactions issued
@@ -57,30 +67,52 @@ def coalesce_half_warp(
     itemsize: int,
     spec: DeviceSpec = DEFAULT_DEVICE,
 ) -> CoalesceResult:
-    """Apply the G80 coalescing rule to one half-warp access.
+    """Apply the device's coalescing rule to one group access.
+
+    The group is a half-warp on strict-segment (CUDA 1.x) devices —
+    hence the historical name — and a full warp on cached-line ones;
+    the caller supplies exactly ``spec.coalesce_group`` lanes.
 
     Parameters
     ----------
     addresses:
-        Byte addresses, one per thread slot of the half-warp (length
-        ``spec.half_warp``); entries for inactive threads are ignored.
+        Byte addresses, one per thread slot of the group (length
+        ``spec.coalesce_group``); entries for inactive threads are
+        ignored.
     active:
         Boolean activity mask of the same length.
     itemsize:
-        Access width in bytes (4, 8 or 16 on the G80).
+        Access width in bytes (4, 8 or 16).
     """
-    hw = spec.half_warp
-    if addresses.shape[0] != hw or active.shape[0] != hw:
-        raise ValueError(f"expected half-warp of {hw} lanes")
+    group = spec.coalesce_group
+    if addresses.shape[0] != group or active.shape[0] != group:
+        raise ValueError(f"expected a coalescing group of {group} lanes")
     n_active = int(active.sum())
     if n_active == 0:
         return CoalesceResult(True, 0, 0, 0)
+    if spec.coalescing_rule == CACHED_LINE:
+        return _coalesce_cached_line(addresses, active, itemsize, spec)
+    return _coalesce_strict_segment(addresses, active, itemsize, spec)
 
+
+#: backwards-compatible alias for the rule-dispatching entry point
+coalesce_group_access = coalesce_half_warp
+
+
+def _coalesce_strict_segment(
+    addresses: np.ndarray,
+    active: np.ndarray,
+    itemsize: int,
+    spec: DeviceSpec,
+) -> CoalesceResult:
+    """The CUDA 1.x rule: thread k must hit word k of an aligned
+    segment, else one serialized transaction per active thread."""
+    group = spec.coalesce_group
+    n_active = int(active.sum())
     addrs = addresses[active].astype(np.int64)
     useful = n_active * itemsize
-    segment = hw * itemsize
+    segment = group * itemsize
 
-    # Coalescing test: thread k must hit word k of an aligned segment.
     lanes = np.nonzero(active)[0]
     base = addresses[lanes[0]] - lanes[0] * itemsize
     aligned = (base % segment) == 0
@@ -88,8 +120,9 @@ def coalesce_half_warp(
     if aligned and in_order:
         return CoalesceResult(True, 1, segment, useful)
 
-    # Uncoalesced: one transaction per active thread (min 32 B each);
-    # duplicate segments are merged for bus accounting.
+    # Uncoalesced: one transaction per active thread (minimum-
+    # granularity bus charge each); duplicate segments are merged for
+    # bus accounting.
     min_txn = spec.min_transaction_bytes
     segments = np.unique(addrs // min_txn)
     bus = 0
@@ -101,44 +134,81 @@ def coalesce_half_warp(
     return CoalesceResult(False, n_active, bus, useful)
 
 
+def _coalesce_cached_line(
+    addresses: np.ndarray,
+    active: np.ndarray,
+    itemsize: int,
+    spec: DeviceSpec,
+) -> CoalesceResult:
+    """The Fermi+ rule: one transaction per distinct cache line the
+    warp touches.  The access is *coalesced* when it needs no more
+    lines than its useful bytes occupy at best — any permutation of
+    threads within those lines is free."""
+    line = spec.cache_line_bytes
+    n_active = int(active.sum())
+    addrs = addresses[active].astype(np.int64)
+    useful = n_active * itemsize
+    first = addrs // line
+    last = (addrs + itemsize - 1) // line
+    lines = np.unique(np.concatenate([first, last]))
+    transactions = int(lines.size)
+    minimal = max(1, -(-useful // line))
+    return CoalesceResult(transactions <= minimal, transactions,
+                          transactions * line, useful)
+
+
 def coalesce_block_access(
     addresses: np.ndarray,
     active: np.ndarray,
     itemsize: int,
     spec: DeviceSpec = DEFAULT_DEVICE,
 ) -> Tuple[int, int, int, int, int]:
-    """Coalesce a whole block-wide access, half-warp by half-warp.
+    """Coalesce a whole block-wide access, group by group.
 
+    The group width and rule come from ``spec`` (half-warp strict
+    segments on CUDA 1.x, full-warp cache lines on Fermi and later).
     Returns ``(warp_accesses, transactions, bus_bytes, useful_bytes,
-    coalesced_accesses)`` summed over all half-warps that had at least
-    one active thread.
+    coalesced_accesses)`` summed over all groups that had at least one
+    active thread.
     """
-    hw = spec.half_warp
+    group = spec.coalesce_group
     n = addresses.shape[0]
-    pad = (-n) % hw
+    pad = (-n) % group
     if pad:
         addresses = np.concatenate(
             [addresses.astype(np.int64), np.zeros(pad, dtype=np.int64)])
         active = np.concatenate([active, np.zeros(pad, dtype=bool)])
-    A = addresses.reshape(-1, hw).astype(np.int64)
-    M = active.reshape(-1, hw)
+    A = addresses.reshape(-1, group).astype(np.int64)
+    M = active.reshape(-1, group)
     any_active = M.any(axis=1)
     if not any_active.any():
         return 0, 0, 0, 0, 0
-    segment = hw * itemsize
+    segment = group * itemsize
+    cached = spec.coalescing_rule == CACHED_LINE
+    # a fast-path row costs segment bytes rounded up to whole lines on
+    # cached devices, exactly one segment on strict ones
+    if cached:
+        line = spec.cache_line_bytes
+        txn_per_fast = -(-segment // line)
+        bus_per_fast = txn_per_fast * line
+        align = line
+    else:
+        txn_per_fast = 1
+        bus_per_fast = segment
+        align = segment
 
     # Vectorized fast path: fully active, in-order, aligned rows.
     fully = M.all(axis=1)
     lane0 = A[:, 0]
-    expected = lane0[:, None] + np.arange(hw, dtype=np.int64)[None, :] * itemsize
+    expected = lane0[:, None] + np.arange(group, dtype=np.int64)[None, :] * itemsize
     in_order = (A == expected).all(axis=1)
-    aligned = (lane0 % segment) == 0
+    aligned = (lane0 % align) == 0
     fast = fully & in_order & aligned
     n_fast = int(fast.sum())
     warp_accesses = int(any_active.sum())
-    transactions = n_fast
-    bus = n_fast * segment
-    useful = n_fast * hw * itemsize
+    transactions = n_fast * txn_per_fast
+    bus = n_fast * bus_per_fast
+    useful = n_fast * segment
     coalesced = n_fast
 
     slow_rows = np.nonzero(any_active & ~fast)[0]
@@ -160,12 +230,14 @@ def bank_conflict_degree(
     active: np.ndarray,
     spec: DeviceSpec = DEFAULT_DEVICE,
 ) -> int:
-    """Conflict degree of one half-warp shared-memory access.
+    """Conflict degree of one shared-memory access group.
 
-    ``word_indices`` are word (4 B) offsets into shared memory.  The
-    degree is the maximum, over banks, of the number of *distinct*
-    words accessed in that bank; duplicate words broadcast for free.
-    A degree of 1 is conflict-free.
+    The group is a half-warp on 16-bank devices and a full warp on
+    32-bank ones (``spec.shared_access_group``).  ``word_indices`` are
+    word (4 B) offsets into shared memory.  The degree is the maximum,
+    over banks, of the number of *distinct* words accessed in that
+    bank; duplicate words broadcast for free.  A degree of 1 is
+    conflict-free.
     """
     if not active.any():
         return 0
@@ -182,12 +254,13 @@ def block_bank_conflicts(
     active: np.ndarray,
     spec: DeviceSpec = DEFAULT_DEVICE,
 ) -> Tuple[int, int]:
-    """Sum conflict degrees over the half-warps of a block-wide access.
+    """Sum conflict degrees over the access groups of a block-wide
+    shared access.
 
     Returns ``(accesses, total_degree)``; ``total_degree - accesses``
     is the number of *extra* serialization passes caused by conflicts.
     """
-    hw = spec.half_warp
+    hw = spec.shared_access_group
     nbanks = spec.shared_mem_banks
     n = word_indices.shape[0]
     pad = (-n) % hw
@@ -202,7 +275,7 @@ def block_bank_conflicts(
         return 0, 0
     accesses = int(any_active.sum())
 
-    # Vectorized fast path: fully active rows whose 16 lanes hit 16
+    # Vectorized fast path: fully active rows whose lanes all hit
     # distinct banks (the common conflict-free stride-1 pattern), or
     # rows where every lane reads the same word (broadcast).
     fully = M.all(axis=1)
@@ -253,7 +326,16 @@ class DirectMappedCache:
         if not active.any():
             return 0, 0
         lines = np.unique(addresses[active] // self.line_bytes)
+        hits, misses, _ = self.probe_lines(lines)
+        return hits, misses
+
+    def probe_lines(self, lines: np.ndarray
+                    ) -> Tuple[int, int, np.ndarray]:
+        """Probe a vector of distinct line indices; returns
+        ``(hits, misses, missed_lines)`` so a backing level can be
+        consulted for the misses only."""
         hits = misses = 0
+        missed = []
         for line in lines:
             slot = int(line % self.num_lines)
             if self.tags[slot] == line:
@@ -261,6 +343,7 @@ class DirectMappedCache:
             else:
                 self.tags[slot] = line
                 misses += 1
+                missed.append(line)
         self.hits += hits
         self.misses += misses
         registry = get_registry()
@@ -271,7 +354,7 @@ class DirectMappedCache:
             if misses:
                 registry.counter("memsys.cache_misses",
                                  space=self.space).inc(misses)
-        return hits, misses
+        return hits, misses, np.asarray(missed, dtype=np.int64)
 
     @property
     def hit_rate(self) -> float:
@@ -282,3 +365,71 @@ class DirectMappedCache:
         self.tags[:] = -1
         self.hits = 0
         self.misses = 0
+
+
+# ----------------------------------------------------------------------
+# Global-load cache hierarchy (cached-line devices)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HierarchyOutcome:
+    """Result of routing one global access through the L1/L2 levels."""
+
+    lines: int          # distinct lines the access touched
+    l1_hits: int
+    l1_misses: int
+    l2_hits: int
+    l2_misses: int
+
+    @property
+    def dram_lines(self) -> int:
+        """Lines that had to be fetched from DRAM."""
+        return self.l2_misses
+
+
+class CacheHierarchy:
+    """Two-level cache for the global-load path of Fermi-class devices.
+
+    Traced blocks execute sequentially, so a single L1 stands in for
+    the per-SM L1s (the same modeling convention the constant/texture
+    caches use) and a single L2 for the device-wide one.  Only lines
+    that miss in L2 occupy the DRAM bus; the coalescing classifier
+    still decides how many *transactions* the warp issues.
+    """
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        if not spec.has_cached_global_loads:
+            raise ValueError(f"{spec.name} has no cached global path")
+        line = spec.cache_line_bytes
+        self.line_bytes = line
+        self.l1: Optional[DirectMappedCache] = (
+            DirectMappedCache(spec.l1_cache_bytes_per_sm, line, space="l1")
+            if spec.l1_cache_bytes_per_sm else None)
+        self.l2: Optional[DirectMappedCache] = (
+            DirectMappedCache(spec.l2_cache_bytes, line, space="l2")
+            if spec.l2_cache_bytes else None)
+
+    def access(self, addresses: np.ndarray, active: np.ndarray,
+               itemsize: int = 4) -> HierarchyOutcome:
+        """Route one block-wide access through the hierarchy."""
+        if not active.any():
+            return HierarchyOutcome(0, 0, 0, 0, 0)
+        addrs = addresses[active].astype(np.int64)
+        first = addrs // self.line_bytes
+        last = (addrs + itemsize - 1) // self.line_bytes
+        lines = np.unique(np.concatenate([first, last]))
+        l1_hits = l1_misses = l2_hits = l2_misses = 0
+        missed = lines
+        if self.l1 is not None:
+            l1_hits, l1_misses, missed = self.l1.probe_lines(lines)
+        if self.l2 is not None:
+            l2_hits, l2_misses, missed = self.l2.probe_lines(missed)
+        else:
+            l2_misses = int(missed.size)
+        return HierarchyOutcome(int(lines.size), l1_hits, l1_misses,
+                                l2_hits, l2_misses)
+
+    def reset(self) -> None:
+        for level in (self.l1, self.l2):
+            if level is not None:
+                level.reset()

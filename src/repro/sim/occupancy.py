@@ -35,7 +35,7 @@ class Occupancy:
     regs_per_thread: int
     smem_per_block: int
     blocks_per_sm: int
-    limiter: str                     # "registers" | "shared" | "threads" | "blocks" | "launch"
+    limiter: str                     # "registers" | "shared" | "threads" | "warps" | "blocks" | "launch"
     spec: DeviceSpec = DEFAULT_DEVICE
 
     @property
@@ -52,7 +52,7 @@ class Occupancy:
 
     @property
     def occupancy(self) -> float:
-        """Fraction of the SM's 768 thread contexts in use."""
+        """Fraction of the SM's thread contexts in use."""
         return self.active_threads_per_sm / self.spec.max_threads_per_sm
 
     @property
@@ -79,22 +79,24 @@ def compute_occupancy(
     smem_per_block: int = 0,
     spec: DeviceSpec = DEFAULT_DEVICE,
 ) -> Occupancy:
-    """Blocks per SM under the four G80 limits, with the binding one named."""
+    """Blocks per SM under the device's limit table, with the binding
+    limit named.
+
+    The classic CUDA 1.x table has four entries (blocks, threads,
+    registers, shared memory); later devices add a resident-warp
+    ceiling and warp-granular register allocation.  The table itself
+    travels with the spec — see
+    :meth:`repro.arch.device.DeviceSpec.occupancy_limit_table` — so
+    this function contains no per-generation arithmetic.
+    """
     if threads_per_block < 1:
         raise ValueError("threads_per_block must be positive")
     if threads_per_block > spec.max_threads_per_block:
         return Occupancy(threads_per_block, regs_per_thread, smem_per_block,
                          0, "launch", spec)
 
-    limits = {}
-    limits["blocks"] = spec.max_blocks_per_sm
-    limits["threads"] = spec.max_threads_per_sm // threads_per_block
-    regs_per_block = regs_per_thread * threads_per_block
-    limits["registers"] = (spec.registers_per_sm // regs_per_block
-                           if regs_per_block else spec.max_blocks_per_sm)
-    limits["shared"] = (spec.shared_mem_per_sm // smem_per_block
-                        if smem_per_block else spec.max_blocks_per_sm)
-
+    limits = spec.occupancy_limit_table(threads_per_block, regs_per_thread,
+                                        smem_per_block)
     blocks = min(limits.values())
     if blocks <= 0:
         # A single block exceeds an SM's resources: the launch fails.
@@ -105,8 +107,9 @@ def compute_occupancy(
     # threads" even when the register file is exactly exhausted too —
     # and then to shared memory (its LBM discussion attributes a
     # register/shared tie to shared-memory capacity).
-    for name in ("threads", "shared", "registers", "blocks"):
-        if limits[name] == blocks:
+    limiter = "blocks"
+    for name in ("threads", "warps", "shared", "registers", "blocks"):
+        if limits.get(name) == blocks:
             limiter = name
             break
     return Occupancy(threads_per_block, regs_per_thread, smem_per_block,

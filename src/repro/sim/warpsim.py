@@ -6,9 +6,11 @@ finer-grained estimate to validate it against (see DESIGN.md's three
 model fidelities).  It replays a recorded *instruction stream* of one
 thread block over all the warps resident on one SM:
 
-* a single issue unit serializes instruction issue (4 cycles per warp
-  instruction, 16 for SFU ops), picking the oldest ready warp
-  (round-robin over equal readiness — the G80's fair scheduler);
+* a single issue unit serializes instruction issue
+  (``spec.timing.issue_cycles_per_warp_inst`` cycles per warp
+  instruction, ``sfu_issue_cycles`` for SFU ops — 4 and 16 on the
+  G80's warp_size/SPs-per-SM fabric), picking the oldest ready warp
+  (round-robin over equal readiness — a fair scheduler);
 * a global memory instruction blocks the issuing warp for the DRAM
   latency plus queueing at a bandwidth-limited memory server whose
   service time per transaction reflects the coalescing outcome;
@@ -39,7 +41,8 @@ class StreamEvent:
 
     cls: InstrClass
     active_warps: int = 1
-    #: memory transactions issued per *half-warp access* of this event
+    #: memory transactions issued per *coalescing-group access* of
+    #: this event (half-warp on CUDA 1.x, full warp on Fermi+)
     transactions_per_warp: float = 0.0
     #: DRAM bus bytes per warp for this event
     bus_bytes_per_warp: float = 0.0

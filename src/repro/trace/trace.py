@@ -9,11 +9,14 @@ kernel runs, the DSL records
   (divergence-aware: a warp instruction is counted whenever *any* thread
   of the warp is active);
 * thread-instruction counts (for flop accounting);
-* global-memory transaction statistics from the coalescing model,
-  broken down per named array so that access-pattern figures such as
-  the paper's Figure 5 can be regenerated;
+* global-memory transaction statistics from the device's coalescing
+  rule (strict half-warp segments or cached full-warp lines, per the
+  active :class:`~repro.arch.device.DeviceSpec`), broken down per
+  named array so that access-pattern figures such as the paper's
+  Figure 5 can be regenerated;
 * shared-memory bank-conflict serialization cycles;
-* constant/texture cache hit statistics and barrier counts.
+* constant/texture (and, on cached-global devices, L1/L2) cache hit
+  statistics and barrier counts.
 
 Traces are collected on a *sample* of thread blocks and scaled to the
 full grid with :meth:`KernelTrace.scaled`, mirroring how one reasons
@@ -34,16 +37,16 @@ class ArrayAccessStats:
     """Per-array global-memory access statistics (drives Figure 5)."""
 
     array: str
-    warp_accesses: float = 0.0      # half-warp access events
+    warp_accesses: float = 0.0      # coalescing-group access events
     transactions: float = 0.0       # memory transactions issued
     bus_bytes: float = 0.0          # bytes occupying the DRAM bus
     useful_bytes: float = 0.0       # bytes actually requested by threads
-    coalesced_accesses: float = 0.0  # access events needing 1 transaction
+    coalesced_accesses: float = 0.0  # access events at minimal transactions
 
     @property
     def transactions_per_access(self) -> float:
-        """Average transactions per half-warp access (1.0 = perfectly
-        coalesced on the G80)."""
+        """Average transactions per coalescing-group access (1.0 =
+        perfectly coalesced for word-sized accesses)."""
         if self.warp_accesses == 0:
             return 0.0
         return self.transactions / self.warp_accesses
@@ -97,6 +100,12 @@ class KernelTrace:
     tex_hits: float = 0.0
     tex_misses: float = 0.0
 
+    # cached global path (devices with an L1/L2 hierarchy)
+    l1_hits: float = 0.0
+    l1_misses: float = 0.0
+    l2_hits: float = 0.0
+    l2_misses: float = 0.0
+
     syncs: float = 0.0
     blocks_traced: int = 0
     threads_traced: float = 0.0
@@ -144,6 +153,12 @@ class KernelTrace:
         elif space == "tex":
             self.tex_hits += hits
             self.tex_misses += misses
+        elif space == "l1":
+            self.l1_hits += hits
+            self.l1_misses += misses
+        elif space == "l2":
+            self.l2_hits += hits
+            self.l2_misses += misses
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown cached space {space!r}")
 
@@ -166,6 +181,10 @@ class KernelTrace:
         self.const_misses += other.const_misses
         self.tex_hits += other.tex_hits
         self.tex_misses += other.tex_misses
+        self.l1_hits += other.l1_hits
+        self.l1_misses += other.l1_misses
+        self.l2_hits += other.l2_hits
+        self.l2_misses += other.l2_misses
         self.syncs += other.syncs
         self.blocks_traced += other.blocks_traced
         self.threads_traced += other.threads_traced
@@ -187,6 +206,10 @@ class KernelTrace:
         out.const_misses = self.const_misses * factor
         out.tex_hits = self.tex_hits * factor
         out.tex_misses = self.tex_misses * factor
+        out.l1_hits = self.l1_hits * factor
+        out.l1_misses = self.l1_misses * factor
+        out.l2_hits = self.l2_hits * factor
+        out.l2_misses = self.l2_misses * factor
         out.syncs = self.syncs * factor
         out.blocks_traced = self.blocks_traced  # identity of the sample
         out.threads_traced = self.threads_traced * factor
@@ -240,7 +263,7 @@ class KernelTrace:
     @property
     def coalesced_fraction(self) -> float:
         """Fraction of global transactions that came from fully
-        coalesced half-warp accesses."""
+        coalesced access groups."""
         if self.global_transactions == 0:
             return 1.0
         return 1.0 - self.uncoalesced_transactions / self.global_transactions

@@ -73,8 +73,10 @@ class TestRecording:
     def test_cache_recording(self):
         t = sample_trace()
         assert t.const_hits == 7 and t.const_misses == 3
+        t.record_cache("l2", 2, 1)       # a real level on cached devices
+        assert t.l2_hits == 2 and t.l2_misses == 1
         with pytest.raises(ValueError):
-            t.record_cache("l2", 1, 1)
+            t.record_cache("l3", 1, 1)
 
     def test_instruction_mix_normalized(self):
         mix = sample_trace().instruction_mix()
