@@ -22,11 +22,13 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.arch.device import DEFAULT_DEVICE
 from repro.cuda import (BatchedExecutor, CompiledExecutor, Device,
                         SequentialExecutor, launch)
 from repro.apps.matmul import MatMul, build_kernel
 from repro.bench.profile_report import measure_overhead
 from repro.obs import SpanTracer, use_tracer
+from repro.obs.history import run_provenance
 
 N = 512
 TILE = 16
@@ -72,6 +74,8 @@ def main() -> int:
     report = {
         "benchmark": "pipeline_perf_smoke",
         "workload": f"matmul {N}^3 functional, tiled_unrolled {TILE}x{TILE}",
+        "device": DEFAULT_DEVICE.name,
+        **run_provenance(),
         "sequential_seconds": round(seq_wall, 3),
         "batched_seconds": round(bat_wall, 3),
         "compiled_seconds": round(comp_wall, 3),

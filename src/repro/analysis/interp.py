@@ -345,7 +345,7 @@ class LintContext:
                                  int(mask.sum()) * count)
 
     def _census_global(self, name: str, index_sym: SymVal, itemsize: int,
-                       mask: np.ndarray) -> None:
+                       mask: np.ndarray, kind: str = "ld") -> None:
         """Static coalescing outcome of one global access event, using
         the same :func:`coalesce_block_access` the simulator applies to
         real addresses (so the device's coalescing rule is honoured).
@@ -369,7 +369,8 @@ class LintContext:
             bus = n * max(itemsize, self.spec.min_transaction_bytes)
             useful = n * itemsize
             coal = 0
-        self.census.record_global_access(name, wa, txn, bus, useful, coal)
+        self.census.record_global_access(name, wa, txn, bus, useful, coal,
+                                         kind=kind)
 
     def _census_shared(self, array: "LintShared", index_sym: SymVal,
                        mask: np.ndarray) -> None:
@@ -447,7 +448,8 @@ class LintContext:
             word_offset=word_offset, word_scale=word_scale))
         self._census_emit(CENSUS_MEM[(op, space)])
         if space == "global":
-            self._census_global(name, index_sym, itemsize, mask)
+            self._census_global(name, index_sym, itemsize, mask,
+                                kind="atom" if op == "atom" else op)
         elif space == "shared":
             self._census_shared(array, index_sym, mask)
         elif space == "const":

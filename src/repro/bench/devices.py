@@ -154,9 +154,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("note: autotuner winner shifts across devices: "
               + ", ".join(f"{d} -> {w}" for d, w in winners.items()))
 
+    from ..obs.history import run_provenance
     payload = {
         "benchmark": "cross_device_retune",
         "n": args.n,
+        **run_provenance(),
         "devices": entries,
     }
     out = Path(args.out) if args.out else Path("BENCH_devices.json")

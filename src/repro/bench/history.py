@@ -1,0 +1,132 @@
+"""Perf-history CLI: append bench manifests, gate on regressions.
+
+Reads the bench envelopes the other jobs produce, flattens them into
+provenance-stamped manifests (:mod:`repro.obs.history`), appends them
+to the run history, and compares the deterministic modelled metrics
+against the committed baseline::
+
+    python -m repro.bench.history --gate 10
+    python -m repro.bench.history --devices BENCH_devices.json \\
+        --history BENCH_history.jsonl --gate 10
+    python -m repro.bench.history --gate 10 --inject-slowdown 15  # must fail
+    python -m repro.bench.history --update-baseline               # retune
+
+Exit status: 0 when every gated metric is within the gate, 3 on any
+regression (or a baseline metric the run no longer produces), 2 on
+usage errors.  ``--inject-slowdown PCT`` scales the current metrics
+down before comparison — the self-test CI uses to prove the gate
+actually trips.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..obs.history import (append_history, baseline_from_manifests,
+                           compare_to_baseline, format_comparison,
+                           load_baseline, manifest_from_devices,
+                           manifest_from_pipeline)
+
+#: default committed baseline (deterministic modelled metrics only)
+DEFAULT_BASELINE = Path(__file__).resolve().parents[3] \
+    / "benchmarks" / "baseline_history.json"
+
+
+def collect_manifests(pipeline: Optional[Path], devices: Optional[Path]
+                      ) -> List[Dict[str, object]]:
+    manifests: List[Dict[str, object]] = []
+    if pipeline and pipeline.exists():
+        manifests.append(
+            manifest_from_pipeline(json.loads(pipeline.read_text())))
+    if devices and devices.exists():
+        manifests.append(
+            manifest_from_devices(json.loads(devices.read_text())))
+    return manifests
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.history",
+        description="append bench manifests to the perf history and "
+                    "gate modelled metrics against the baseline")
+    parser.add_argument("--pipeline", type=Path,
+                        default=Path("BENCH_pipeline.json"),
+                        help="pipeline envelope (skipped when absent)")
+    parser.add_argument("--devices", type=Path,
+                        default=Path("BENCH_devices.json"),
+                        help="devices envelope (skipped when absent)")
+    parser.add_argument("--history", type=Path,
+                        default=Path("BENCH_history.jsonl"),
+                        help="JSONL history file to append to")
+    parser.add_argument("--no-append", action="store_true",
+                        help="compare only; leave the history file alone")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="committed baseline JSON")
+    parser.add_argument("--gate", type=float, default=None, metavar="PCT",
+                        help="fail when any gated metric drops more than "
+                             "PCT%% below the baseline")
+    parser.add_argument("--inject-slowdown", type=float, default=None,
+                        metavar="PCT",
+                        help="self-test: scale current metrics down PCT%% "
+                             "before the comparison")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run's "
+                             "gateable metrics")
+    args = parser.parse_args(argv)
+
+    manifests = collect_manifests(args.pipeline, args.devices)
+    if not manifests:
+        print("no bench envelopes found "
+              f"({args.pipeline}, {args.devices})", file=sys.stderr)
+        return 2
+
+    for m in manifests:
+        print(f"manifest: {m['source']}  sha={m['git_sha'][:12]}  "
+              f"{m['timestamp']}  {len(m['metrics'])} metrics")
+    if not args.no_append:
+        append_history(manifests, args.history)
+        print(f"appended {len(manifests)} manifest(s) to {args.history}")
+
+    if args.update_baseline:
+        payload = baseline_from_manifests(manifests)
+        if not payload["gate_metrics"]:
+            print("no gateable (devices) metrics in this run",
+                  file=sys.stderr)
+            return 2
+        args.baseline.write_text(json.dumps(payload, indent=2,
+                                            sort_keys=True) + "\n")
+        print(f"baseline updated: {args.baseline} "
+              f"({len(payload['gate_metrics'])} metrics)")
+        return 0
+
+    if args.gate is None:
+        return 0
+    if not args.baseline.exists():
+        print(f"baseline not found: {args.baseline} "
+              "(run with --update-baseline first)", file=sys.stderr)
+        return 2
+    baseline = load_baseline(args.baseline)
+
+    if args.inject_slowdown:
+        factor = 1.0 - args.inject_slowdown / 100.0
+        for m in manifests:
+            m["metrics"] = {k: v * factor for k, v in m["metrics"].items()}
+        print(f"self-test: injected {args.inject_slowdown:g}% slowdown")
+
+    rows = compare_to_baseline(manifests, baseline, args.gate)
+    print(format_comparison(rows, args.gate))
+    failing = [r for r in rows if r["status"] in ("regression", "missing")]
+    if failing:
+        print(f"FAIL: {len(failing)} metric(s) regressed beyond "
+              f"{args.gate:g}% (or went missing)", file=sys.stderr)
+        return 3
+    print("OK: all gated metrics within the gate")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -13,6 +13,9 @@ Command line::
     python -m repro.bench.profile_report lbm --chrome-trace trace.json
     python -m repro.bench.profile_report matmul --overhead-gate 5
     python -m repro.bench.profile_report matmul --device gtx_480
+    python -m repro.bench.profile_report matmul --metrics-derived
+    python -m repro.bench.profile_report matmul --roofline --estimate
+    python -m repro.bench.profile_report matmul --timeline warps.json
 
 For ``matmul`` the report covers the Section 4 optimization ladder
 (naive / tiled / tiled_unrolled / prefetch); any other registry app
@@ -83,6 +86,15 @@ def format_records(records: Sequence[LaunchRecord],
         if per_array:
             details.append(f"  {rec.kernel}: txn/access per array: "
                            f"{per_array}")
+        io = []
+        if rec.io.get("gld_bus_bytes", 0) > 0:
+            io.append(f"gld_efficiency={100 * rec.io['gld_useful_bytes'] / rec.io['gld_bus_bytes']:.1f}%")
+        if rec.io.get("gst_bus_bytes", 0) > 0:
+            io.append(f"gst_efficiency={100 * rec.io['gst_useful_bytes'] / rec.io['gst_bus_bytes']:.1f}%")
+        io += [f"{space}_hit_rate={rate:.1%}"
+               for space, rate in rec.cache_hit_rates().items()]
+        if io:
+            details.append(f"  {rec.kernel}: " + "  ".join(io))
     if details:
         out += "\n" + "\n".join(details)
     return out
@@ -231,6 +243,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="append the static performance estimates "
                              "(census + bounds) for the app's kernels, "
                              "for comparison against the profiled launches")
+    parser.add_argument("--metrics-derived", action="store_true",
+                        help="append the nvprof-style derived metrics "
+                             "(achieved_occupancy, gld_efficiency, ...) "
+                             "per launch; with --estimate also prints the "
+                             "static-vs-measured deviation per metric")
+    parser.add_argument("--roofline", action="store_true",
+                        help="append the per-launch roofline report "
+                             "(arithmetic intensity vs device peaks); "
+                             "with --estimate the static points join "
+                             "the chart")
+    parser.add_argument("--timeline", metavar="PATH", default=None,
+                        help="record a per-SM warp timeline of the app's "
+                             "representative kernel (event-recording "
+                             "warpsim replay), write chrome://tracing "
+                             "JSON to PATH and print the ASCII "
+                             "occupancy strip")
     parser.add_argument("--overhead-gate", metavar="PCT", type=float,
                         default=None,
                         help="fail if profiling overhead exceeds PCT%% "
@@ -271,6 +299,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from ..analysis.estimate import estimate_app
         estimates = estimate_app(args.app, spec)
 
+    derived = None
+    deviations = None
+    if args.metrics_derived:
+        from ..obs.derived import (derive_from_estimate, derive_metrics,
+                                   metric_deviation)
+        derived = [(rec, derive_metrics(rec, spec))
+                   for rec in profiler.records]
+        if estimates is not None:
+            static = {e.kernel: derive_from_estimate(e, spec)
+                      for e in estimates}
+            deviations = [(rec.kernel,
+                           metric_deviation(vals, static[rec.kernel]))
+                          for rec, vals in derived
+                          if rec.kernel in static]
+
+    roofline = None
+    if args.roofline:
+        from ..obs.roofline import (point_from_estimate, point_from_record,
+                                    roofline_report)
+        points = [point_from_record(rec) for rec in profiler.records]
+        if estimates is not None:
+            points += [point_from_estimate(e) for e in estimates]
+        roofline = roofline_report(points, spec)
+
+    timeline = None
+    if args.timeline:
+        from ..obs.timeline import timeline_for_target, write_chrome_trace
+        from ..apps.registry import get_app
+        targets = get_app(args.app, spec).lint_targets()
+        target = next((t for t in targets if t.note == "tiled"), targets[0])
+        timeline = timeline_for_target(target, spec)
+        write_chrome_trace(timeline, args.timeline)
+
     if args.chrome_trace:
         profiler.tracer.write_chrome_trace(args.chrome_trace)
 
@@ -288,6 +349,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             payload["lint"] = [r.to_dict() for r in lint_reports]
         if estimates is not None:
             payload["estimates"] = [e.to_dict() for e in estimates]
+        if derived is not None:
+            payload["derived_metrics"] = [
+                {"kernel": rec.kernel, "metrics": vals}
+                for rec, vals in derived]
+        if deviations is not None:
+            payload["estimator_deviation"] = [
+                {"kernel": kern, "metrics": dev}
+                for kern, dev in deviations]
+        if roofline is not None:
+            payload["roofline"] = roofline
         print(json.dumps(payload, indent=2, default=str))
     else:
         print(format_records(profiler.records,
@@ -307,6 +378,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("static performance estimates:")
             for est in estimates:
                 print("  " + format_estimate(est).replace("\n", "\n  "))
+        if derived is not None:
+            from ..obs.derived import format_derived
+            for rec, vals in derived:
+                print()
+                print(format_derived(rec, vals))
+        if deviations is not None:
+            from ..obs.derived import format_deviation
+            for kern, dev in deviations:
+                print()
+                print(f"{kern}:")
+                print("  " + format_deviation(dev).replace("\n", "\n  "))
+        if roofline is not None:
+            from ..obs.roofline import format_roofline
+            print()
+            print(format_roofline(roofline))
+        if timeline is not None:
+            from ..obs.timeline import format_timeline
+            print()
+            print(format_timeline(timeline))
         if args.metrics:
             print()
             print(format_metrics(profiler))
@@ -321,6 +411,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"best of {overhead['repeats']})")
     if args.chrome_trace and not args.json:
         print(f"chrome trace written to {args.chrome_trace}")
+    if args.timeline and not args.json:
+        print(f"warp timeline written to {args.timeline}")
 
     if args.overhead_gate is not None \
             and overhead["overhead_pct"] > args.overhead_gate:

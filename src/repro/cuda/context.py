@@ -499,7 +499,7 @@ class BlockContext:
         idx = self._flat_index(index)
         mask = self.mask
         arr.check_bounds(idx, mask)
-        mem = self._record_global(arr, idx, mask)
+        mem = self._record_global(arr, idx, mask, kind="ld")
         self._emit(InstrClass.LD_GLOBAL, mem=mem)
         safe = np.where(mask, idx, 0)
         return arr.data[safe]
@@ -512,7 +512,7 @@ class BlockContext:
         idx = self._flat_index(index)
         mask = self.mask
         arr.check_bounds(idx, mask)
-        mem = self._record_global(arr, idx, mask)
+        mem = self._record_global(arr, idx, mask, kind="st")
         self._emit(InstrClass.ST_GLOBAL, mem=mem)
         vals = self._bc(value, arr.data.dtype)
         arr.data[idx[mask]] = vals[mask]
@@ -535,17 +535,20 @@ class BlockContext:
                 bus_bytes=n * self.spec.min_transaction_bytes,
                 useful_bytes=n * arr.itemsize,
                 coalesced_accesses=0,
+                kind="atom",
             )
         vals = self._bc(value, arr.data.dtype)
         np.add.at(arr.data, idx[mask], vals[mask])
 
     def _record_global(self, arr: DeviceArray, idx: np.ndarray,
-                       mask: np.ndarray) -> Optional[Tuple[float, float]]:
+                       mask: np.ndarray, kind: str = "ld",
+                       ) -> Optional[Tuple[float, float]]:
         if self.trace is None:
             return None
         addresses = arr.addresses(idx)
         wa, txn, bus, useful, coal = coalesce_block_access(
             addresses, mask, arr.itemsize, self.spec)
+        request_bus = bus
         hierarchy = self.caches.get("global")
         if hierarchy is not None:
             # Cached global path: only lines missing in every level
@@ -557,7 +560,9 @@ class BlockContext:
             if hierarchy.l2 is not None:
                 self.trace.record_cache("l2", out.l2_hits, out.l2_misses)
             bus = out.dram_lines * hierarchy.line_bytes
-        self.trace.record_global_access(arr.name, wa, txn, bus, useful, coal)
+        self.trace.record_global_access(arr.name, wa, txn, bus, useful, coal,
+                                        kind=kind,
+                                        request_bus_bytes=request_bus)
         warps = max(self._active_warps(mask), 1)
         return (txn / warps, bus / warps)
 
@@ -608,6 +613,7 @@ class BlockContext:
                         bus_bytes=misses * line,
                         useful_bytes=misses * line,
                         coalesced_accesses=0,
+                        kind="fill",
                     )
         safe = np.where(mask, idx, 0)
         return arr.data[safe]

@@ -1,0 +1,342 @@
+"""Derived nvprof/Nsight-style metrics over launch records.
+
+PR 2's profiler exports *raw* counters — warp instructions, bus bytes,
+cache hits — but the paper's analysis vocabulary is *derived*:
+achieved occupancy, loads-per-request efficiency, the fraction of peak
+the kernel sustains.  This module closes that gap with a **metric
+registry**: every metric has a stable name (matching the nvprof /
+Nsight Compute counter it imitates), a unit, a formula docstring, and
+a compute function over a :class:`~repro.obs.profiler.LaunchRecord`
+plus the active :class:`~repro.arch.device.DeviceSpec` (so peaks are
+device-aware — the same record evaluated against a G80 and a GTX 480
+yields different efficiency percentages).
+
+Usage::
+
+    from repro.obs.derived import derive_metrics, format_derived
+
+    with LaunchProfiler() as prof:
+        app.run(workload)
+    values = derive_metrics(prof.records[0])
+    print(format_derived(prof.records[0], values))
+
+A metric that does not apply to a launch (L1 hit rate on a device
+without a global cache hierarchy, model-based metrics when the timing
+estimate was disabled) evaluates to ``None`` and renders as ``n/a``.
+
+The same names are computable *statically* from a
+:class:`~repro.analysis.estimate.PerfEstimate` via
+:func:`derive_from_estimate`, which is what lets the
+estimator-vs-measured deviation report (:func:`metric_deviation`)
+speak one vocabulary for both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Union
+
+from ..arch.device import DEFAULT_DEVICE, DeviceSpec
+
+__all__ = [
+    "MetricDef", "METRICS", "register_metric", "metric",
+    "derive_metrics", "derive_from_estimate", "metric_deviation",
+    "format_derived", "format_deviation",
+]
+
+MetricValue = Union[float, Dict[str, float], None]
+
+
+@dataclass(frozen=True)
+class MetricDef:
+    """One named derived metric.
+
+    ``compute(record, spec)`` returns a float, a breakdown dict, or
+    ``None`` when the metric does not apply to the launch.
+    """
+
+    name: str
+    unit: str                    # "%", "ratio", "warp-inst/cycle", ...
+    formula: str                 # human-readable definition
+    compute: Callable[[object, DeviceSpec], MetricValue]
+
+
+#: the metric registry, in presentation order
+METRICS: Dict[str, MetricDef] = {}
+
+
+def register_metric(m: MetricDef) -> MetricDef:
+    if m.name in METRICS:
+        raise ValueError(f"metric {m.name!r} already registered")
+    METRICS[m.name] = m
+    return m
+
+
+def metric(name: str, unit: str, formula: str):
+    """Decorator registering a compute function as a named metric."""
+    def wrap(fn: Callable[[object, DeviceSpec], MetricValue]):
+        register_metric(MetricDef(name, unit, formula, fn))
+        return fn
+    return wrap
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+
+def _active_warps_per_sm(rec) -> Optional[float]:
+    """Resident warps per SM from the record's occupancy block."""
+    warps = rec.occupancy.get("warps/SM") if rec.occupancy else None
+    return float(warps) if warps is not None else None
+
+
+def _model_cycles_per_sm(rec, spec: DeviceSpec) -> Optional[float]:
+    """Modeled kernel cycles on one SM (wall time x clock)."""
+    if rec.model_seconds <= 0:
+        return None
+    return rec.model_seconds * spec.sp_clock_ghz * 1e9
+
+
+def _sms_used(rec, spec: DeviceSpec) -> int:
+    return min(spec.num_sms, max(1, rec.blocks_total))
+
+
+def _hit_rate_pct(rec, space: str) -> Optional[float]:
+    hits = rec.cache.get(f"{space}_hits", 0.0)
+    misses = rec.cache.get(f"{space}_misses", 0.0)
+    total = hits + misses
+    return 100.0 * hits / total if total > 0 else None
+
+
+# ----------------------------------------------------------------------
+# The metrics (registration order = report order)
+# ----------------------------------------------------------------------
+
+@metric("achieved_occupancy", "ratio",
+        "active warps per SM / device max resident warps per SM")
+def _achieved_occupancy(rec, spec: DeviceSpec) -> Optional[float]:
+    warps = _active_warps_per_sm(rec)
+    if warps is None:
+        return None
+    return warps / spec.max_warps_per_sm
+
+
+@metric("ipc", "warp-inst/cycle",
+        "warp instructions per SM / modeled kernel cycles "
+        "(peak = 1 / issue_cycles_per_warp_inst)")
+def _ipc(rec, spec: DeviceSpec) -> Optional[float]:
+    cycles = _model_cycles_per_sm(rec, spec)
+    if cycles is None or rec.warp_insts <= 0:
+        return None
+    return rec.warp_insts / _sms_used(rec, spec) / cycles
+
+
+@metric("gld_efficiency", "%",
+        "100 x requested global-load bytes / transaction-level bytes "
+        "the load access pattern moves (like nvprof, can exceed 100% "
+        "when threads re-request the same words: requested bytes count "
+        "per thread, duplicate segments dedupe on the bus)")
+def _gld_efficiency(rec, spec: DeviceSpec) -> Optional[float]:
+    bus = rec.io.get("gld_bus_bytes", 0.0)
+    if bus <= 0:
+        return None
+    return 100.0 * rec.io.get("gld_useful_bytes", 0.0) / bus
+
+
+@metric("gst_efficiency", "%",
+        "100 x requested global-store bytes / transaction-level bytes "
+        "the store access pattern moves")
+def _gst_efficiency(rec, spec: DeviceSpec) -> Optional[float]:
+    bus = rec.io.get("gst_bus_bytes", 0.0)
+    if bus <= 0:
+        return None
+    return 100.0 * rec.io.get("gst_useful_bytes", 0.0) / bus
+
+
+@metric("gld_transactions_per_request", "ratio",
+        "global-load transactions / coalescing-group load requests "
+        "(1.0 = perfectly coalesced word accesses)")
+def _gld_tpr(rec, spec: DeviceSpec) -> Optional[float]:
+    req = rec.io.get("gld_accesses", 0.0)
+    if req <= 0:
+        return None
+    return rec.io.get("gld_transactions", 0.0) / req
+
+
+@metric("gst_transactions_per_request", "ratio",
+        "global-store transactions / coalescing-group store requests")
+def _gst_tpr(rec, spec: DeviceSpec) -> Optional[float]:
+    req = rec.io.get("gst_accesses", 0.0)
+    if req <= 0:
+        return None
+    return rec.io.get("gst_transactions", 0.0) / req
+
+
+@metric("shared_bank_conflict_rate", "cycles/access",
+        "extra serialization cycles / shared-memory warp instructions "
+        "(0 = conflict-free)")
+def _shared_conflict_rate(rec, spec: DeviceSpec) -> Optional[float]:
+    if rec.shared_insts <= 0:
+        return None
+    return rec.bank_conflict_cycles / rec.shared_insts
+
+
+@metric("l1_hit_rate", "%", "100 x L1 hits / L1 accesses "
+        "(devices with a cached global path)")
+def _l1_hit_rate(rec, spec: DeviceSpec) -> Optional[float]:
+    return _hit_rate_pct(rec, "l1")
+
+
+@metric("l2_hit_rate", "%", "100 x L2 hits / L2 accesses")
+def _l2_hit_rate(rec, spec: DeviceSpec) -> Optional[float]:
+    return _hit_rate_pct(rec, "l2")
+
+
+@metric("const_hit_rate", "%", "100 x constant-cache hits / accesses")
+def _const_hit_rate(rec, spec: DeviceSpec) -> Optional[float]:
+    return _hit_rate_pct(rec, "const")
+
+
+@metric("tex_hit_rate", "%", "100 x texture-cache hits / accesses")
+def _tex_hit_rate(rec, spec: DeviceSpec) -> Optional[float]:
+    return _hit_rate_pct(rec, "tex")
+
+
+@metric("dram_throughput_pct", "%",
+        "100 x (DRAM bus bytes / modeled seconds) / pin bandwidth")
+def _dram_throughput(rec, spec: DeviceSpec) -> Optional[float]:
+    if rec.model_seconds <= 0:
+        return None
+    achieved = rec.global_bus_bytes / rec.model_seconds
+    return 100.0 * achieved / (spec.dram_bandwidth_gbs * 1e9)
+
+
+@metric("flop_sp_efficiency", "%",
+        "100 x achieved GFLOPS / device peak multiply-add GFLOPS")
+def _flop_sp_efficiency(rec, spec: DeviceSpec) -> Optional[float]:
+    if rec.model_seconds <= 0:
+        return None
+    return 100.0 * rec.gflops / spec.peak_mad_gflops
+
+
+@metric("warp_issue_stall_breakdown", "fraction",
+        "per-bottleneck share of the timing model's cycle estimates "
+        "(instruction issue / SFU / bandwidth / latency), normalized")
+def _stall_breakdown(rec, spec: DeviceSpec) -> Optional[Dict[str, float]]:
+    cycles = rec.bottleneck_cycles
+    if not cycles:
+        return None
+    total = sum(cycles.values())
+    if total <= 0:
+        return None
+    return {name: c / total for name, c in cycles.items()}
+
+
+# ----------------------------------------------------------------------
+# Engines
+# ----------------------------------------------------------------------
+
+def _resolve_spec(rec, spec: Optional[DeviceSpec]) -> DeviceSpec:
+    if spec is not None:
+        return spec
+    attached = getattr(rec, "spec", None)
+    return attached if attached is not None else DEFAULT_DEVICE
+
+
+def derive_metrics(record, spec: Optional[DeviceSpec] = None,
+                   names: Optional[Sequence[str]] = None,
+                   ) -> Dict[str, MetricValue]:
+    """Evaluate registered metrics for one launch record.
+
+    ``spec`` defaults to the device the record was captured on (records
+    built by :meth:`LaunchRecord.from_result` carry their spec), then
+    to the package default.  ``names`` restricts the evaluation;
+    unknown names raise ``KeyError``.
+    """
+    spec = _resolve_spec(record, spec)
+    selected = (METRICS.values() if names is None
+                else [METRICS[n] for n in names])
+    return {m.name: m.compute(record, spec) for m in selected}
+
+
+def derive_from_estimate(est, spec: Optional[DeviceSpec] = None,
+                         ) -> Dict[str, MetricValue]:
+    """The same named metrics computed from a *static*
+    :class:`~repro.analysis.estimate.PerfEstimate` — no execution.
+
+    The estimate's census trace fills the counter-side inputs and its
+    timing prediction the model-side ones, so every metric name means
+    the same thing measured and predicted (cache hit rates stay ``n/a``:
+    the static census does not simulate cache residency).
+    """
+    from .profiler import LaunchRecord
+    spec = spec or est.occupancy.spec
+    rec = LaunchRecord.from_census(est.census)
+    rec.occupancy = est.occupancy.describe()
+    if est.time is not None:
+        rec.model_seconds = est.time.seconds
+        rec.gflops = est.time.gflops
+        rec.bound = est.time.bound
+        rec.bottleneck_seconds = est.time.components()
+        rec.bottleneck_cycles = est.time.cycles_components()
+    return derive_metrics(rec, spec)
+
+
+def metric_deviation(measured: Dict[str, MetricValue],
+                     static: Dict[str, MetricValue],
+                     ) -> Dict[str, Dict[str, float]]:
+    """Measured-vs-static deviation per scalar metric present in both.
+
+    Returns ``{name: {"measured": m, "static": s, "deviation_pct": d}}``
+    with ``d = 100 x (s - m) / m`` — the estimator's error in the
+    metric's own unit, positive when the static model is optimistic.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for name, m in measured.items():
+        s = static.get(name)
+        if not isinstance(m, (int, float)) or not isinstance(s, (int, float)):
+            continue
+        dev = 100.0 * (s - m) / m if m else (0.0 if not s else float("inf"))
+        out[name] = {"measured": float(m), "static": float(s),
+                     "deviation_pct": dev}
+    return out
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def _fmt_value(value: MetricValue) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, dict):
+        return ", ".join(f"{k}={v:.2f}" for k, v in value.items())
+    return f"{value:.4g}"
+
+
+def format_derived(record, values: Optional[Dict[str, MetricValue]] = None,
+                   spec: Optional[DeviceSpec] = None) -> str:
+    """nvprof ``--metrics``-style text block for one launch."""
+    if values is None:
+        values = derive_metrics(record, spec)
+    header = f"derived metrics: {record.kernel} ({record.grid} x {record.block})"
+    width = max(len(n) for n in values) if values else 0
+    lines = [header]
+    for name, value in values.items():
+        unit = METRICS[name].unit if name in METRICS else ""
+        lines.append(f"  {name:<{width}}  {_fmt_value(value):>12}  {unit}")
+    return "\n".join(lines)
+
+
+def format_deviation(deviation: Dict[str, Dict[str, float]]) -> str:
+    """Text table of the measured-vs-static metric deviations."""
+    if not deviation:
+        return "estimator deviation: (no overlapping scalar metrics)"
+    width = max(len(n) for n in deviation)
+    lines = ["estimator deviation (static vs measured):"]
+    for name, row in deviation.items():
+        lines.append(
+            f"  {name:<{width}}  measured {row['measured']:>10.4g}  "
+            f"static {row['static']:>10.4g}  "
+            f"dev {row['deviation_pct']:>+7.1f}%")
+    return "\n".join(lines)

@@ -54,6 +54,44 @@ def _dim_str(dim) -> str:
     return "x".join(str(p) for p in parts)
 
 
+def _io_split(trace) -> Dict[str, float]:
+    """nvprof-style load/store traffic split out of a trace."""
+    return {
+        "gld_accesses": trace.gld_accesses,
+        "gld_transactions": trace.gld_transactions,
+        "gld_bus_bytes": trace.gld_bus_bytes,
+        "gld_useful_bytes": trace.gld_useful_bytes,
+        "gst_accesses": trace.gst_accesses,
+        "gst_transactions": trace.gst_transactions,
+        "gst_bus_bytes": trace.gst_bus_bytes,
+        "gst_useful_bytes": trace.gst_useful_bytes,
+    }
+
+
+def _shared_insts(trace) -> float:
+    from ..trace.instr import InstrClass
+    return float(trace.warp_insts[InstrClass.LD_SHARED]
+                 + trace.warp_insts[InstrClass.ST_SHARED])
+
+
+def _cache_counters(trace) -> Dict[str, float]:
+    """Every cached path's hit/miss counters, L1/L2 included."""
+    return {"const_hits": trace.const_hits,
+            "const_misses": trace.const_misses,
+            "tex_hits": trace.tex_hits,
+            "tex_misses": trace.tex_misses,
+            "l1_hits": trace.l1_hits,
+            "l1_misses": trace.l1_misses,
+            "l2_hits": trace.l2_hits,
+            "l2_misses": trace.l2_misses}
+
+
+def _hit_rate(hits: float, misses: float) -> Optional[float]:
+    """Hit fraction, or None when the path saw no accesses."""
+    total = hits + misses
+    return hits / total if total > 0 else None
+
+
 @dataclass
 class LaunchRecord:
     """Everything the profiler knows about one kernel launch."""
@@ -66,6 +104,8 @@ class LaunchRecord:
     blocks_executed: int
     blocks_traced: int
     memo_hits: int
+    #: device profile the launch ran on (``DeviceSpec.name``)
+    device: str = ""
     dispositions: Dict[str, int] = field(default_factory=dict)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -76,6 +116,10 @@ class LaunchRecord:
     global_warp_accesses: float = 0.0
     global_bus_bytes: float = 0.0
     transactions_per_access: Dict[str, float] = field(default_factory=dict)
+    #: nvprof-style load/store split (gld_/gst_ accesses, transactions,
+    #: request-level bus bytes, useful bytes)
+    io: Dict[str, float] = field(default_factory=dict)
+    shared_insts: float = 0.0
     bank_conflict_cycles: float = 0.0
     cache: Dict[str, float] = field(default_factory=dict)
     syncs: float = 0.0
@@ -107,6 +151,7 @@ class LaunchRecord:
             blocks_executed=result.blocks_executed,
             blocks_traced=result.blocks_traced,
             memo_hits=result.memo_hits,
+            device=result.spec.name,
             dispositions=dict(result.block_dispositions),
             stage_seconds=dict(result.stage_seconds),
             warp_insts=trace.total_warp_insts,
@@ -116,13 +161,13 @@ class LaunchRecord:
                                      for s in trace.per_array.values()),
             global_bus_bytes=trace.global_bus_bytes,
             transactions_per_access=per_array,
+            io=_io_split(trace),
+            shared_insts=_shared_insts(trace),
             bank_conflict_cycles=trace.shared_conflict_cycles,
-            cache={"const_hits": trace.const_hits,
-                   "const_misses": trace.const_misses,
-                   "tex_hits": trace.tex_hits,
-                   "tex_misses": trace.tex_misses},
+            cache=_cache_counters(trace),
             syncs=trace.syncs,
         )
+        rec.spec = result.spec
         if estimate and trace.total_warp_insts > 0:
             try:
                 est = result.estimate()
@@ -160,6 +205,7 @@ class LaunchRecord:
             blocks_executed=0,
             blocks_traced=census.blocks_sampled,
             memo_hits=0,
+            device=census.spec.name if hasattr(census, "spec") else "",
             dispositions={},
             stage_seconds={},
             warp_insts=trace.total_warp_insts,
@@ -169,11 +215,10 @@ class LaunchRecord:
                                      for s in trace.per_array.values()),
             global_bus_bytes=trace.global_bus_bytes,
             transactions_per_access=per_array,
+            io=_io_split(trace),
+            shared_insts=_shared_insts(trace),
             bank_conflict_cycles=trace.shared_conflict_cycles,
-            cache={"const_hits": trace.const_hits,
-                   "const_misses": trace.const_misses,
-                   "tex_hits": trace.tex_hits,
-                   "tex_misses": trace.tex_misses},
+            cache=_cache_counters(trace),
             syncs=trace.syncs,
         )
 
@@ -183,6 +228,18 @@ class LaunchRecord:
     @property
     def wall_seconds(self) -> float:
         return sum(self.stage_seconds.values())
+
+    def cache_hit_rates(self) -> Dict[str, float]:
+        """Hit fraction per cached path that actually saw traffic
+        (const / tex / l1 / l2) — the PR-6 hierarchy counters, surfaced
+        per launch."""
+        out: Dict[str, float] = {}
+        for space in ("const", "tex", "l1", "l2"):
+            rate = _hit_rate(self.cache.get(f"{space}_hits", 0.0),
+                             self.cache.get(f"{space}_misses", 0.0))
+            if rate is not None:
+                out[space] = rate
+        return out
 
     @property
     def overall_transactions_per_access(self) -> float:
@@ -200,6 +257,7 @@ class LaunchRecord:
             "grid": self.grid,
             "block": self.block,
             "executor": self.executor,
+            "device": self.device,
             "blocks": {
                 "total": self.blocks_total,
                 "executed": self.blocks_executed,
@@ -216,8 +274,10 @@ class LaunchRecord:
                 "global_transactions": self.global_transactions,
                 "global_warp_accesses": self.global_warp_accesses,
                 "global_bus_bytes": self.global_bus_bytes,
+                "shared_insts": self.shared_insts,
                 "bank_conflict_cycles": self.bank_conflict_cycles,
                 "syncs": self.syncs,
+                **self.io,
                 **self.cache,
             },
             "transactions_per_access": dict(self.transactions_per_access),
@@ -233,11 +293,14 @@ class LaunchRecord:
 
     def digest(self) -> str:
         """The one-line nvprof-style summary."""
+        hits = self.cache_hit_rates()
+        caches = "".join(f"  {space}_hit={rate:.0%}"
+                         for space, rate in hits.items())
         return (f"{self.kernel}  grid {self.grid}  block {self.block}  "
                 f"exec={self.executor}  blocks {self.blocks_executed}"
                 f"/{self.blocks_total} (traced {self.blocks_traced}, "
                 f"memo {self.memo_hits})  {self.gflops:.2f} GFLOPS  "
-                f"bound={self.bound}")
+                f"bound={self.bound}{caches}")
 
 
 #: stack of entered profilers; the innermost one receives records
@@ -294,10 +357,30 @@ class LaunchProfiler:
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
-    def report(self) -> str:
-        """nvprof-like text table over the captured records."""
+    def report(self, derived: bool = False, roofline: bool = False) -> str:
+        """nvprof-like text table over the captured records.
+
+        ``derived=True`` appends the named derived-metric block per
+        launch (:mod:`repro.obs.derived`); ``roofline=True`` appends
+        the roofline placement of every launch
+        (:mod:`repro.obs.roofline`).
+        """
         from ..bench.profile_report import format_records
-        return format_records(self.records)
+        out = format_records(self.records)
+        if derived and self.records:
+            from .derived import format_derived
+            out += "\n\n" + "\n\n".join(format_derived(rec)
+                                        for rec in self.records)
+        if roofline and self.records:
+            from .roofline import (format_roofline, point_from_record,
+                                   roofline_report)
+            spec = getattr(self.records[0], "spec", None)
+            if spec is None:
+                from ..arch.device import DEFAULT_DEVICE
+                spec = DEFAULT_DEVICE
+            points = [point_from_record(r) for r in self.records]
+            out += "\n\n" + format_roofline(roofline_report(points, spec))
+        return out
 
     def to_dicts(self) -> List[Dict[str, object]]:
         return [r.to_dict() for r in self.records]

@@ -36,6 +36,29 @@ from ..trace.instr import InstrClass, SFU_CLASSES, GLOBAL_MEMORY_CLASSES
 
 
 @dataclass(frozen=True)
+class WarpEvent:
+    """One scheduling interval of one warp, in SM cycles.
+
+    ``kind`` is ``"issue"`` (the warp owns the issue unit, including
+    uncoalesced replay cycles), ``"mem"`` (blocked on the memory
+    server plus DRAM latency), ``"sync"`` (parked at ``__syncthreads``
+    until the block catches up), or ``"retire"`` (zero-length marker
+    when the warp finishes its stream).
+    """
+
+    block: int
+    wid: int
+    kind: str
+    start: float
+    end: float
+    pc: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
 class StreamEvent:
     """One block-wide instruction of the recorded stream."""
 
@@ -70,7 +93,8 @@ class WarpSimResult:
 
 
 class _Warp:
-    __slots__ = ("block", "wid", "pc", "ready_at", "at_barrier", "done")
+    __slots__ = ("block", "wid", "pc", "ready_at", "at_barrier", "done",
+                 "barrier_since")
 
     def __init__(self, block: int, wid: int) -> None:
         self.block = block
@@ -79,6 +103,7 @@ class _Warp:
         self.ready_at = 0.0
         self.at_barrier = False
         self.done = False
+        self.barrier_since = 0.0
 
 
 def simulate_sm(
@@ -86,12 +111,17 @@ def simulate_sm(
     warps_per_block: int,
     blocks_per_sm: int,
     spec: DeviceSpec = DEFAULT_DEVICE,
+    events: Optional[List[WarpEvent]] = None,
 ) -> WarpSimResult:
     """Simulate one SM executing ``blocks_per_sm`` copies of the block.
 
     Every warp executes the full stream (the DSL records block-wide
     instructions; per-warp activity differences are second-order for
     the block-uniform kernels this validates).
+
+    ``events``, when a list is supplied, receives the per-warp
+    scheduling timeline as :class:`WarpEvent` records (opt-in: the
+    default path appends nothing and stays allocation-free).
     """
     if not stream:
         return WarpSimResult(0.0, 0.0, 0.0, 0.0, 0)
@@ -117,6 +147,9 @@ def simulate_sm(
             for m in members:
                 if m.at_barrier:
                     m.at_barrier = False
+                    if events is not None and now > m.barrier_since:
+                        events.append(WarpEvent(m.block, m.wid, "sync",
+                                                m.barrier_since, now, m.pc))
                     m.pc += 1
                     m.ready_at = now
 
@@ -136,6 +169,7 @@ def simulate_sm(
 
         if ev.is_sync:
             w.at_barrier = True
+            w.barrier_since = now
             barrier_release(w.block, now + t.sync_cycles)
             continue
 
@@ -155,15 +189,26 @@ def simulate_sm(
             mem_free = start + service
             mem_busy += service
             w.ready_at = mem_free + t.global_latency_cycles
+            if events is not None:
+                events.append(WarpEvent(w.block, w.wid, "issue",
+                                        now, issue_free, w.pc))
+                events.append(WarpEvent(w.block, w.wid, "mem",
+                                        issue_free, w.ready_at, w.pc))
         else:
             issue_free = now + cost
             issue_busy += cost
             w.ready_at = issue_free
+            if events is not None:
+                events.append(WarpEvent(w.block, w.wid, "issue",
+                                        now, issue_free, w.pc))
         issued += 1
         w.pc += 1
         if w.pc >= len(stream):
             w.done = True
             done_count += 1
+            if events is not None:
+                events.append(WarpEvent(w.block, w.wid, "retire",
+                                        w.ready_at, w.ready_at, w.pc))
             barrier_release(w.block, w.ready_at)
 
     cycles = max(max(w.ready_at for w in warps), issue_free, mem_free)

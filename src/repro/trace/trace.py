@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from .instr import InstrClass, flops_of, GLOBAL_MEMORY_CLASSES, SFU_CLASSES
 
@@ -91,6 +91,18 @@ class KernelTrace:
     uncoalesced_transactions: float = 0.0
     per_array: Dict[str, ArrayAccessStats] = field(default_factory=dict)
 
+    # load/store split of the global traffic (nvprof's gld_*/gst_*
+    # vocabulary; atomics and cache-fill refills stay out of the split
+    # and only appear in the combined totals above)
+    gld_accesses: float = 0.0
+    gld_transactions: float = 0.0
+    gld_bus_bytes: float = 0.0
+    gld_useful_bytes: float = 0.0
+    gst_accesses: float = 0.0
+    gst_transactions: float = 0.0
+    gst_bus_bytes: float = 0.0
+    gst_useful_bytes: float = 0.0
+
     # shared memory
     shared_conflict_cycles: float = 0.0   # extra serialization cycles
 
@@ -130,12 +142,41 @@ class KernelTrace:
         bus_bytes: float,
         useful_bytes: float,
         coalesced_accesses: float,
+        kind: str = "ld",
+        request_bus_bytes: Optional[float] = None,
     ) -> None:
-        """Record the coalescing outcome of global load/store events."""
+        """Record the coalescing outcome of global load/store events.
+
+        ``kind`` names the access class: ``"ld"`` and ``"st"`` feed the
+        nvprof-style load/store split (``gld_*`` / ``gst_*``); ``"atom"``
+        (serialized atomics) and ``"fill"`` (const/tex cache refills)
+        count only toward the combined totals.
+
+        ``request_bus_bytes`` is the transaction-level traffic the
+        access *pattern* requires (the coalescing classifier's verdict
+        before any global cache absorbs it); on cached devices
+        ``bus_bytes`` is the post-cache DRAM occupancy, so the split —
+        which measures access-pattern quality — keeps the request-level
+        number.  Defaults to ``bus_bytes`` (uncached path).
+        """
+        if request_bus_bytes is None:
+            request_bus_bytes = bus_bytes
         self.global_transactions += transactions
         self.global_bus_bytes += bus_bytes
         self.global_useful_bytes += useful_bytes
         self.uncoalesced_transactions += transactions - coalesced_accesses
+        if kind == "ld":
+            self.gld_accesses += warp_accesses
+            self.gld_transactions += transactions
+            self.gld_bus_bytes += request_bus_bytes
+            self.gld_useful_bytes += useful_bytes
+        elif kind == "st":
+            self.gst_accesses += warp_accesses
+            self.gst_transactions += transactions
+            self.gst_bus_bytes += request_bus_bytes
+            self.gst_useful_bytes += useful_bytes
+        elif kind not in ("atom", "fill"):  # pragma: no cover - defensive
+            raise ValueError(f"unknown global access kind {kind!r}")
         stats = self.per_array.setdefault(array, ArrayAccessStats(array))
         stats.warp_accesses += warp_accesses
         stats.transactions += transactions
@@ -174,6 +215,14 @@ class KernelTrace:
         self.global_bus_bytes += other.global_bus_bytes
         self.global_useful_bytes += other.global_useful_bytes
         self.uncoalesced_transactions += other.uncoalesced_transactions
+        self.gld_accesses += other.gld_accesses
+        self.gld_transactions += other.gld_transactions
+        self.gld_bus_bytes += other.gld_bus_bytes
+        self.gld_useful_bytes += other.gld_useful_bytes
+        self.gst_accesses += other.gst_accesses
+        self.gst_transactions += other.gst_transactions
+        self.gst_bus_bytes += other.gst_bus_bytes
+        self.gst_useful_bytes += other.gst_useful_bytes
         for name, stats in other.per_array.items():
             self.per_array.setdefault(name, ArrayAccessStats(name)).merge(stats)
         self.shared_conflict_cycles += other.shared_conflict_cycles
@@ -200,6 +249,14 @@ class KernelTrace:
         out.global_bus_bytes = self.global_bus_bytes * factor
         out.global_useful_bytes = self.global_useful_bytes * factor
         out.uncoalesced_transactions = self.uncoalesced_transactions * factor
+        out.gld_accesses = self.gld_accesses * factor
+        out.gld_transactions = self.gld_transactions * factor
+        out.gld_bus_bytes = self.gld_bus_bytes * factor
+        out.gld_useful_bytes = self.gld_useful_bytes * factor
+        out.gst_accesses = self.gst_accesses * factor
+        out.gst_transactions = self.gst_transactions * factor
+        out.gst_bus_bytes = self.gst_bus_bytes * factor
+        out.gst_useful_bytes = self.gst_useful_bytes * factor
         out.per_array = {k: v.scaled(factor) for k, v in self.per_array.items()}
         out.shared_conflict_cycles = self.shared_conflict_cycles * factor
         out.const_hits = self.const_hits * factor
@@ -261,6 +318,23 @@ class KernelTrace:
         return mem / comp
 
     @property
+    def gld_efficiency(self) -> float:
+        """Requested over delivered global-load bytes (nvprof's
+        ``gld_efficiency``): 1.0 when every bus byte a load transaction
+        moves was asked for by some thread."""
+        if self.gld_bus_bytes == 0:
+            return 1.0
+        return self.gld_useful_bytes / self.gld_bus_bytes
+
+    @property
+    def gst_efficiency(self) -> float:
+        """Requested over delivered global-store bytes (nvprof's
+        ``gst_efficiency``)."""
+        if self.gst_bus_bytes == 0:
+            return 1.0
+        return self.gst_useful_bytes / self.gst_bus_bytes
+
+    @property
     def coalesced_fraction(self) -> float:
         """Fraction of global transactions that came from fully
         coalesced access groups."""
@@ -285,6 +359,8 @@ class KernelTrace:
             "global_transactions": self.global_transactions,
             "global_bus_bytes": self.global_bus_bytes,
             "coalesced_fraction": self.coalesced_fraction,
+            "gld_efficiency": self.gld_efficiency,
+            "gst_efficiency": self.gst_efficiency,
             "memory_to_compute_ratio": self.memory_to_compute_ratio,
             "shared_conflict_cycles": self.shared_conflict_cycles,
             "syncs": self.syncs,
