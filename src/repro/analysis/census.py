@@ -132,7 +132,7 @@ def census_target(target: LintTarget,
         merged.merge(per_block)
         smem_bytes = max(smem_bytes, ctx.smem_bytes
                          + getattr(kernel, "static_smem_bytes", 0))
-        for line, message in recorder.notes:
+        for _line, message in recorder.notes:
             if message.startswith("analysis stopped") \
                     and message not in limits:
                 limits.append(message)

@@ -103,12 +103,18 @@ class MemEvent:
     mask_divergent: bool          # enclosing control flow diverges
     word_offset: int = 0          # shared only: first word of the array
     word_scale: int = 1           # shared only: words per element
+    #: barrier interval: incremented at every __syncthreads(); two
+    #: shared accesses in the same interval are concurrent (no
+    #: happens-before edge orders them across threads)
+    interval: int = 0
 
 
 @dataclass
 class SyncEvent:
     line: int
     divergent: bool
+    #: the barrier interval this sync closes
+    interval: int = 0
 
 
 @dataclass
@@ -264,6 +270,8 @@ class LintContext:
         # (active-lane superset, exactly known?, divergent?)
         self._mask_stack: List[Tuple[np.ndarray, bool, bool]] = [
             (np.ones(T, dtype=bool), True, False)]
+        #: current barrier interval (bumped by every __syncthreads())
+        self._sync_interval = 0
         self._smem_words = 0
         self.shared_arrays: List[LintShared] = []
         #: static instruction census of this sample block — warp-level
@@ -445,7 +453,8 @@ class LintContext:
             line=self._line(), op=op, space=space, array=name,
             index=index_sym, itemsize=itemsize, size=size,
             mask=mask.copy(), mask_exact=exact, mask_divergent=divergent,
-            word_offset=word_offset, word_scale=word_scale))
+            word_offset=word_offset, word_scale=word_scale,
+            interval=self._sync_interval))
         self._census_emit(CENSUS_MEM[(op, space)])
         if space == "global":
             self._census_global(name, index_sym, itemsize, mask,
@@ -522,7 +531,9 @@ class LintContext:
         if cat == "sync":
             _mask, exact, divergent = self._mask_state()
             self._recorder.emit(SyncEvent(self._line(),
-                                          divergent=divergent or not exact))
+                                          divergent=divergent or not exact,
+                                          interval=self._sync_interval))
+            self._sync_interval += 1
             self._census_emit(InstrClass.SYNC)
             return None
         if cat == "masked":

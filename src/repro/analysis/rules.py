@@ -75,37 +75,178 @@ def sample_coords(grid) -> List[Tuple[int, int, int]]:
 
 
 # ----------------------------------------------------------------------
-# R1: barriers — divergent sync and unsynchronized shared races
+# R1: barriers — happens-before over barrier intervals
 # ----------------------------------------------------------------------
+#
+# Every ``__syncthreads()`` closes a *barrier interval*; two shared
+# accesses in the same interval have no happens-before edge between
+# different threads.  A write racing a read or write from another lane
+# in the same interval is a HIGH finding — the generalization of the
+# old store→load pair heuristic to all three hazard directions
+# (st→ld, ld→st, st→st), mirroring the dynamic racecheck tool in
+# :mod:`repro.san`.  The same pass tracks cell definedness: shared
+# reads of cells never stored anywhere in the stream are HIGH
+# (garbage on real hardware), reads of cells stored only *later* are
+# MEDIUM (reliance on this model's zero-fill).
+
+
+def _concrete_cells(ev: MemEvent, nthreads: int) -> Optional[np.ndarray]:
+    """Active-lane index values of an event, or None when symbolic
+    or under an inexactly-known mask."""
+    if not ev.mask_exact:
+        return None
+    from .symbolic import as_sym
+    value = as_sym(ev.index).concrete_value()
+    if value is None:
+        return None
+    lanes = np.broadcast_to(np.asarray(value, dtype=np.int64), (nthreads,))
+    mask = np.asarray(ev.mask, dtype=bool) if ev.mask is not None \
+        else np.ones(nthreads, dtype=bool)
+    if mask.shape[0] != lanes.shape[0]:
+        return None
+    return lanes[mask]
+
+
+def _intra_write_conflict(ev: MemEvent, nthreads: int) -> bool:
+    """True when one vectorized store hits the same cell from two
+    different active lanes (a W-W race inside a single site)."""
+    from .symbolic import as_sym
+    value = as_sym(ev.index).concrete_value()
+    if value is None or not ev.mask_exact:
+        return False
+    lanes = np.broadcast_to(np.asarray(value, dtype=np.int64), (nthreads,))
+    mask = np.asarray(ev.mask, dtype=bool) if ev.mask is not None \
+        else np.ones(nthreads, dtype=bool)
+    if mask.shape[0] != lanes.shape[0]:
+        return False
+    active = lanes[mask]
+    return active.size != np.unique(active).size
+
+
+def _event_fingerprint(ev: MemEvent) -> object:
+    """Collapse identical loop-repeated events before pair checking."""
+    from .symbolic import as_sym
+    sym = as_sym(ev.index)
+    value = sym.concrete_value()
+    mask_key = ev.mask.tobytes() if ev.mask is not None else b""
+    if value is not None:
+        return (ev.line, np.asarray(value, dtype=np.int64).tobytes(),
+                mask_key)
+    return (ev.line, id(ev.index), mask_key)
+
+
+def _pair_races(a: MemEvent, b: MemEvent, nthreads: int) -> bool:
+    """Can lane i's access in ``a`` alias a *different* lane's in ``b``?"""
+    a_mask = a.mask if a.mask_exact else None
+    b_mask = b.mask if b.mask_exact else None
+    return not cross_lane_disjoint(a.index, a_mask, b.index, b_mask,
+                                   nthreads)
+
 
 def rule_barriers(events: List[object], nthreads: int,
                   kernel: str) -> List[Finding]:
     findings: List[Finding] = []
-    pending: Dict[str, List[MemEvent]] = {}
+    seen: set = set()
+
+    def add(rule: str, severity: Severity, message: str, line: int,
+            array: str = "") -> None:
+        key = (rule, array, line, message)
+        if key not in seen:
+            seen.add(key)
+            findings.append(Finding(rule, severity, kernel, message,
+                                    line, array=array))
+
+    # -- divergent barriers + interval grouping ------------------------
+    intervals: Dict[Tuple[int, str], List[MemEvent]] = {}
     for ev in events:
         if isinstance(ev, SyncEvent):
             if ev.divergent:
-                findings.append(Finding(
-                    "divergent-sync", Severity.HIGH, kernel,
+                add("divergent-sync", Severity.HIGH,
                     "__syncthreads() reachable under divergent control "
-                    "flow (deadlocks on hardware)", ev.line))
-            pending.clear()
+                    "flow (deadlocks on hardware)", ev.line)
         elif isinstance(ev, MemEvent) and ev.space == "shared":
-            if ev.op == "st":
-                pending.setdefault(ev.array, []).append(ev)
-            elif ev.op == "ld":
-                for st in pending.get(ev.array, ()):
-                    st_mask = st.mask if st.mask_exact else None
-                    ld_mask = ev.mask if ev.mask_exact else None
-                    if not cross_lane_disjoint(st.index, st_mask,
-                                               ev.index, ld_mask,
-                                               nthreads):
-                        findings.append(Finding(
-                            "shared-race", Severity.HIGH, kernel,
-                            f"shared {ev.array!r} read may observe "
-                            f"another lane's store (line {st.line}) with "
-                            f"no __syncthreads() between them", ev.line,
-                            array=ev.array))
+            intervals.setdefault((ev.interval, ev.array), []).append(ev)
+
+    # -- happens-before: pairwise hazards inside each interval ---------
+    for (_interval, array), evs in intervals.items():
+        # collapse loop-repeated duplicates of one site
+        reps: Dict[object, MemEvent] = {}
+        for ev in evs:
+            reps.setdefault(_event_fingerprint(ev), ev)
+        uniq = list(reps.values())
+        stores = [e for e in uniq if e.op == "st"]
+        loads = [e for e in uniq if e.op == "ld"]
+        for i, st in enumerate(stores):
+            if _intra_write_conflict(st, nthreads):
+                add("shared-race", Severity.HIGH,
+                    f"two lanes store the same shared {array!r} cell in "
+                    f"one access (last writer wins nondeterministically)",
+                    st.line, array)
+            for other in stores[i + 1:]:
+                if _pair_races(st, other, nthreads):
+                    add("shared-race", Severity.HIGH,
+                        f"shared {array!r} store may race another lane's "
+                        f"store (line {st.line}) in the same barrier "
+                        f"interval", other.line, array)
+            for ld in loads:
+                if _pair_races(st, ld, nthreads):
+                    add("shared-race", Severity.HIGH,
+                        f"shared {array!r} read may observe another "
+                        f"lane's store (line {st.line}) with no "
+                        f"__syncthreads() between them", ld.line, array)
+
+    # -- definedness: reads of never-written / not-yet-written cells ---
+    findings.extend(_shared_uninit(events, nthreads, kernel))
+    return findings
+
+
+def _shared_uninit(events: List[object], nthreads: int,
+                   kernel: str) -> List[Finding]:
+    defined: Dict[str, np.ndarray] = {}
+    opaque_write: set = set()
+    pending: List[Tuple[MemEvent, np.ndarray]] = []
+    for ev in events:
+        if not isinstance(ev, MemEvent) or ev.space != "shared" \
+                or ev.size is None:
+            continue
+        d = defined.setdefault(ev.array, np.zeros(ev.size, dtype=bool))
+        cells = _concrete_cells(ev, nthreads)
+        if ev.op == "st":
+            if cells is None:
+                # unknown store target: assume it may define anything
+                opaque_write.add(ev.array)
+            else:
+                inb = cells[(cells >= 0) & (cells < ev.size)]
+                d[inb] = True
+        elif ev.op == "ld" and cells is not None \
+                and ev.array not in opaque_write:
+            inb = cells[(cells >= 0) & (cells < ev.size)]
+            undef = np.unique(inb[~d[inb]])
+            if undef.size:
+                pending.append((ev, undef))
+
+    findings: List[Finding] = []
+    seen: set = set()
+    for ev, undef in pending:
+        final = defined[ev.array]
+        never = ev.array in opaque_write or not final[undef].all()
+        if never and not (ev.array in opaque_write):
+            severity, what = Severity.HIGH, "never written anywhere"
+        elif never:
+            continue            # opaque store may have defined them
+        else:
+            severity, what = Severity.MEDIUM, \
+                "not yet written at this point (written only later)"
+        key = (ev.array, ev.line, severity)
+        if key in seen:
+            continue
+        seen.add(key)
+        lo, hi = int(undef.min()), int(undef.max())
+        findings.append(Finding(
+            "shared-uninit", severity, kernel,
+            f"read of shared {ev.array!r} cells [{lo}, {hi}] {what} — "
+            f"zero-filled in this model, garbage on real hardware",
+            ev.line, array=ev.array))
     return findings
 
 
@@ -346,6 +487,201 @@ def rule_compilability(kernel, name: str) -> List[Finding]:
         "compile", Severity.INFO, name,
         f"not grid-compilable ({reason}); the compiled executor falls "
         f"back to the batched interpreter")]
+
+
+# ----------------------------------------------------------------------
+# R7: inter-launch dataflow — the fusion-legality oracle
+# ----------------------------------------------------------------------
+#
+# Runs the abstract interpreter over an application's *whole launch
+# sequence* (captured via :func:`repro.cuda.plan.observe_plans`),
+# derives per-launch global read/write sets, and chains them into
+# per-array def-use across launches.  An intermediate written by one
+# launch and consumed by a later one with a single producing segment
+# is **fusable-private** (safe to keep in registers/shared inside a
+# fused producer→consumer module); an array whose value flows around a
+# launch loop — re-defined and re-consumed, or accumulated
+# read-modify-write — is **loop-carried** and any fusion must preserve
+# the carried dependence.
+
+from dataclasses import dataclass as _dataclass, field as _field
+
+
+@_dataclass
+class LaunchAccess:
+    """Global-memory footprint of one launch, derived statically."""
+
+    index: int
+    kernel: str
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+    #: arrays whose *incoming* value the launch observes (first access
+    #: in event order is a load — includes read-modify-write
+    #: accumulators)
+    reads_incoming: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"index": self.index, "kernel": self.kernel,
+                "reads": list(self.reads), "writes": list(self.writes),
+                "reads_incoming": list(self.reads_incoming)}
+
+
+@_dataclass
+class ArrayDataflow:
+    """Cross-launch classification of one global array."""
+
+    array: str
+    classification: str   # input | live-out | fusable-private | loop-carried
+    defs: Tuple[int, ...] = ()          # launches that write it
+    uses: Tuple[int, ...] = ()          # launches that read incoming value
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"array": self.array,
+                "classification": self.classification,
+                "defs": list(self.defs), "uses": list(self.uses),
+                "detail": self.detail}
+
+
+@_dataclass
+class LaunchDataflow:
+    """R7 output: the launch sequence plus per-array verdicts."""
+
+    app: str
+    launches: List[LaunchAccess] = _field(default_factory=list)
+    arrays: Dict[str, ArrayDataflow] = _field(default_factory=dict)
+    findings: List[Finding] = _field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"app": self.app,
+                "launches": [la.to_dict() for la in self.launches],
+                "arrays": {k: v.to_dict()
+                           for k, v in sorted(self.arrays.items())},
+                "findings": [f.to_dict() for f in self.findings]}
+
+
+def _plan_access(plan, spec: DeviceSpec) -> LaunchAccess:
+    """Abstractly interpret one recorded plan: global read/write sets."""
+    from ..cuda.memory import DeviceArray
+    from .targets import LintArray
+    args = []
+    for a in plan.args:
+        if isinstance(a, DeviceArray):
+            args.append(LintArray(a.name, getattr(a, "space", "global"),
+                                  a.size, str(a.data.dtype)))
+        else:
+            args.append(a)
+    grid = (plan.grid.x, plan.grid.y, plan.grid.z)
+    block = (plan.block.x, plan.block.y, plan.block.z)
+    target = LintTarget(plan.kernel, grid, block, tuple(args))
+    recorder, _ctx = interpret(target, sample_coords(plan.grid)[0], spec)
+    reads: List[str] = []
+    writes: List[str] = []
+    first_op: Dict[str, str] = {}
+    for ev in recorder.events:
+        if not isinstance(ev, MemEvent) or ev.space != "global":
+            continue
+        if ev.op in ("ld", "atom") and ev.array not in reads:
+            reads.append(ev.array)
+        if ev.op in ("st", "atom") and ev.array not in writes:
+            writes.append(ev.array)
+        first_op.setdefault(ev.array, "ld" if ev.op != "st" else "st")
+    incoming = tuple(a for a in reads if first_op.get(a) == "ld")
+    return LaunchAccess(index=0, kernel=plan.kernel.name,
+                        reads=tuple(reads), writes=tuple(writes),
+                        reads_incoming=incoming)
+
+
+def classify_dataflow(launches: List[LaunchAccess],
+                      ) -> Dict[str, ArrayDataflow]:
+    """Chain per-launch footprints into per-array def-use verdicts."""
+    arrays: Dict[str, ArrayDataflow] = {}
+    names: List[str] = []
+    for la in launches:
+        for name in (*la.reads, *la.writes):
+            if name not in names:
+                names.append(name)
+    for name in names:
+        defs = tuple(la.index for la in launches if name in la.writes)
+        uses = tuple(la.index for la in launches
+                     if name in la.reads_incoming)
+        if not defs:
+            arrays[name] = ArrayDataflow(
+                name, "input", defs, uses,
+                "read-only: defined by the host, never written on device")
+            continue
+        # def segments whose value a later (or same, for accumulators)
+        # launch observes
+        defs_used: set = set()
+        initial_read = False
+        last_def: Optional[int] = None
+        for la in launches:
+            if name in la.reads_incoming:
+                if last_def is None:
+                    initial_read = True
+                else:
+                    defs_used.add(last_def)
+            if name in la.writes:
+                last_def = la.index
+        if not defs_used:
+            arrays[name] = ArrayDataflow(
+                name, "live-out", defs, uses,
+                "written on device, never re-read by a later launch")
+            continue
+        carried = len(defs_used) >= 2 or (initial_read and defs_used)
+        if carried:
+            arrays[name] = ArrayDataflow(
+                name, "loop-carried", defs, uses,
+                f"value flows across launch iterations (defs at "
+                f"launches {sorted(defs_used)} are re-consumed); fusion "
+                f"must preserve the carried dependence")
+        else:
+            arrays[name] = ArrayDataflow(
+                name, "fusable-private", defs, uses,
+                f"single producing segment (launch {sorted(defs_used)[0]}) "
+                f"consumed only by later launches — a legal "
+                f"producer→consumer fusion candidate")
+    return arrays
+
+
+def analyze_launch_sequence(plans: List[object], app: str = "",
+                            spec: DeviceSpec = DEFAULT_DEVICE,
+                            ) -> LaunchDataflow:
+    """R7 over an already-recorded launch sequence."""
+    flow = LaunchDataflow(app=app)
+    cache: Dict[Tuple, LaunchAccess] = {}
+    for i, plan in enumerate(plans):
+        names = tuple(getattr(a, "name", None) for a in plan.args)
+        key = plan.arg_signature() + (plan.grid, names)
+        access = cache.get(key)
+        if access is None:
+            access = cache[key] = _plan_access(plan, spec)
+        access = LaunchAccess(index=i, kernel=access.kernel,
+                              reads=access.reads, writes=access.writes,
+                              reads_incoming=access.reads_incoming)
+        flow.launches.append(access)
+    flow.arrays = classify_dataflow(flow.launches)
+    for df in flow.arrays.values():
+        if df.classification in ("fusable-private", "loop-carried"):
+            flow.findings.append(Finding(
+                "launch-dataflow", Severity.INFO,
+                flow.launches[df.defs[0]].kernel if df.defs else app,
+                f"{df.array!r} is {df.classification}: {df.detail}",
+                array=df.array))
+    return flow
+
+
+def launch_dataflow(app_name: str, spec: DeviceSpec = DEFAULT_DEVICE,
+                    scale: str = "test") -> LaunchDataflow:
+    """Run one application's ``test`` workload, record its launch
+    sequence, and classify every device array's cross-launch role."""
+    from ..apps.registry import get_app
+    from ..cuda.plan import observe_plans
+    app = get_app(app_name, spec)
+    plans: List[object] = []
+    with observe_plans(plans.append):
+        app.run(app.default_workload(scale), functional=True)
+    return analyze_launch_sequence(plans, app=app_name, spec=spec)
 
 
 # ----------------------------------------------------------------------

@@ -66,9 +66,12 @@ class SymVal:
     #: make NumPy defer binary ufuncs to our reflected operators
     __array_ufunc__ = None
 
+    #: shared empty taint set (avoids call-in-default, flake8-bugbear B008)
+    NO_TAINTS: FrozenSet[str] = frozenset()
+
     def __init__(self, lanes, terms: Optional[Dict[int, int]] = None,
                  kind: str = "int",
-                 taints: FrozenSet[str] = frozenset(),
+                 taints: FrozenSet[str] = NO_TAINTS,
                  varying: bool = False) -> None:
         self.lanes = lanes
         self.terms = dict(terms) if terms else {}
@@ -79,18 +82,18 @@ class SymVal:
     # -- constructors ---------------------------------------------------
     @classmethod
     def concrete(cls, value, kind: str = "int",
-                 taints: FrozenSet[str] = frozenset()) -> "SymVal":
+                 taints: FrozenSet[str] = NO_TAINTS) -> "SymVal":
         varying = isinstance(value, np.ndarray) and value.ndim > 0 \
             and value.size > 1 and bool((value != value.flat[0]).any())
         return cls(value, None, kind, taints, varying)
 
     @classmethod
-    def unknown_int(cls, taints: FrozenSet[str] = frozenset()) -> "SymVal":
+    def unknown_int(cls, taints: FrozenSet[str] = NO_TAINTS) -> "SymVal":
         return cls(0, {fresh_sym(): 1}, "int", taints, True)
 
     @classmethod
     def opaque(cls, kind: str = "float",
-               taints: FrozenSet[str] = frozenset(),
+               taints: FrozenSet[str] = NO_TAINTS,
                varying: bool = True) -> "SymVal":
         return cls(None, None, kind, taints, varying)
 

@@ -92,8 +92,9 @@ class AppRun:
     # ------------------------------------------------------------------
     # CPU side
     # ------------------------------------------------------------------
-    def cpu_estimate(self, cpu: CpuSpec = CpuSpec()) -> CpuTimeEstimate:
-        return estimate_cpu_time(self.merged_trace, self.cpu_params, cpu)
+    def cpu_estimate(self, cpu: Optional[CpuSpec] = None) -> CpuTimeEstimate:
+        return estimate_cpu_time(self.merged_trace, self.cpu_params,
+                                 cpu if cpu is not None else CpuSpec())
 
     @property
     def cpu_kernel_seconds(self) -> float:

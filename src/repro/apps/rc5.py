@@ -120,7 +120,7 @@ def rc5_search_kernel(native_rotate: bool = False):
             S = []
             s = np.full(ctx.nthreads, P32, dtype=np.int64)
             S.append(s)
-            for i in range(1, T):
+            for _ in range(1, T):
                 s = ctx.iand(ctx.iadd(s, Q32), MASK32)
                 S.append(s)
             a = np.zeros(ctx.nthreads, dtype=np.int64)

@@ -156,6 +156,59 @@ class SequentialExecutor(Executor):
 
 
 # ----------------------------------------------------------------------
+# Sanitized execution
+# ----------------------------------------------------------------------
+
+class SanitizedExecutor(Executor):
+    """The reference sequential walk through sanitizing contexts.
+
+    Every block runs in a :class:`~repro.san.context.SanitizedContext`
+    with all four ``cuda-memcheck``-style tools armed (memcheck,
+    racecheck, synccheck, initcheck — restrict via ``tools=``).  The
+    :class:`~repro.san.state.SanState` persists across launches, so
+    definedness shadow bits and the per-launch dataflow log span a
+    whole application run — assign an instance to ``app.executor`` to
+    sanitize every launch the app makes, or use
+    ``launch(..., sanitize=True)`` for a single launch.
+
+    Clean kernels take exactly the base context's data path, so
+    sanitized results are bit-identical to the sequential backend's.
+    """
+
+    name = "sanitized"
+
+    def __init__(self, state=None, tools=None) -> None:
+        from ..san.state import SanState
+        self.state = state if state is not None else SanState(tools)
+
+    def _run(self, plan, collector: TraceCollector) -> int:
+        from ..san.context import SanitizedContext
+        self.state.begin_launch(plan)
+        executed = 0
+        for linear in plan.block_ids():
+            mode = collector.classify(linear)
+            if mode == MEMO and not plan.functional:
+                continue
+            if mode == TRACE:
+                trace, stream = collector.begin_block(linear)
+                ctx = SanitizedContext(self.state, plan, linear,
+                                       trace=trace, stream=stream)
+                plan.kernel.fn(ctx, *plan.args)
+                collector.finish_block(linear, ctx)
+            else:
+                ctx = SanitizedContext(self.state, plan, linear)
+                plan.kernel.fn(ctx, *plan.args)
+            ctx.finish()
+            executed += 1
+        return executed
+
+    def execute(self, plan) -> LaunchResult:
+        result = super().execute(plan)
+        result.san = self.state
+        return result
+
+
+# ----------------------------------------------------------------------
 # Batched (block-vectorized) execution
 # ----------------------------------------------------------------------
 
@@ -601,6 +654,7 @@ class ProcessPoolExecutor(Executor):
 
 EXECUTORS = {
     "sequential": SequentialExecutor,
+    "sanitized": SanitizedExecutor,
     "batched": BatchedExecutor,
     "compiled": CompiledExecutor,
     "process": ProcessPoolExecutor,

@@ -97,6 +97,9 @@ class LaunchResult:
     block_dispositions: Dict[str, int] = field(default_factory=dict)
     #: wall time per pipeline stage (plan / execute / collect / finalize)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: the :class:`~repro.san.state.SanState` of a sanitized launch
+    #: (``sanitize=True`` / ``SanitizedExecutor``), else ``None``
+    san: Optional[object] = None
 
     @property
     def num_blocks(self) -> int:
@@ -160,6 +163,7 @@ def launch(
     record_stream: bool = False,
     executor=None,
     memoize: bool = False,
+    sanitize: bool = False,
 ) -> LaunchResult:
     """Execute ``kern`` over ``grid`` x ``block`` threads.
 
@@ -185,10 +189,20 @@ def launch(
     memoize:
         Reuse traces across sampled blocks of the same equivalence
         class (see :mod:`repro.trace.collector`).  Opt-in.
+    sanitize:
+        Run under the :class:`~repro.cuda.executors.SanitizedExecutor`
+        (memcheck/racecheck/synccheck/initcheck); the result's ``san``
+        attribute carries the findings.  Pass a ``SanitizedExecutor``
+        instance as ``executor`` instead to share sanitizer state
+        across several launches.
     """
     from .plan import LaunchPlan
     plan = LaunchPlan.build(
         kern, grid, block, args=args, device=device, functional=functional,
         trace_blocks=trace_blocks, trace=trace, record_stream=record_stream,
         memoize=memoize)
+    if sanitize:
+        from .executors import SanitizedExecutor
+        if not isinstance(executor, SanitizedExecutor):
+            executor = SanitizedExecutor()
     return plan.execute(executor)

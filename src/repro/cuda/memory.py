@@ -67,6 +67,11 @@ class DeviceArray:
         self.shape = data.shape
         self.data = np.ascontiguousarray(data).reshape(-1)
         self.base_addr = base_addr
+        #: True when the contents came from a host copy (``to_device``
+        #: and friends); ``alloc``-ed arrays hold the model's zero-fill
+        #: that real hardware does not guarantee — the sanitizer's
+        #: initcheck shadow bits start from this flag
+        self.host_initialized = False
 
     @property
     def itemsize(self) -> int:
@@ -216,6 +221,7 @@ class Device:
         name = self._name(name)
         host = np.asarray(host)
         arr = DeviceArray(name, host.copy(), self._allocate(host.nbytes, name))
+        arr.host_initialized = True
         self.arrays[name] = arr
         self.transfers.append(TransferRecord(
             "h2d", int(host.nbytes),
@@ -242,6 +248,7 @@ class Device:
         name = self._name(name)
         arr = ConstantArray(name, host.copy(),
                             self._allocate(host.nbytes, name))
+        arr.host_initialized = True
         self._constant_used += host.nbytes
         self.arrays[name] = arr
         self.transfers.append(TransferRecord(
@@ -256,6 +263,7 @@ class Device:
         name = self._name(name)
         host = np.asarray(host)
         arr = TextureArray(name, host.copy(), self._allocate(host.nbytes, name))
+        arr.host_initialized = True
         self.arrays[name] = arr
         self.transfers.append(TransferRecord(
             "h2d", int(host.nbytes),

@@ -31,9 +31,10 @@ it is now three explicit layers:
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +61,27 @@ def validate_launch(spec: DeviceSpec, grid: Dim3, block: Dim3) -> None:
             f"grid {grid} exceeds the {spec.max_grid_dim} per-dimension limit")
     if grid.z != 1:
         raise CudaModelError("grids are two-dimensional on this device")
+
+
+#: active launch observers — every plan built while an observer is
+#: registered is passed to it (see :func:`observe_plans`)
+_PLAN_OBSERVERS: List[Callable[["LaunchPlan"], None]] = []
+
+
+@contextlib.contextmanager
+def observe_plans(sink: Callable[["LaunchPlan"], None]):
+    """Record every :class:`LaunchPlan` built inside the block.
+
+    The inter-launch dataflow rule (R7 in :mod:`repro.analysis.rules`)
+    uses this to capture an application's whole launch sequence —
+    kernel, geometry and the real device arrays each launch binds —
+    without the application cooperating.
+    """
+    _PLAN_OBSERVERS.append(sink)
+    try:
+        yield sink
+    finally:
+        _PLAN_OBSERVERS.remove(sink)
 
 
 def sample_blocks(grid: Dim3, n: int) -> Sequence[int]:
@@ -165,6 +187,8 @@ class LaunchPlan:
                        record_stream=record_stream, memoize=memoize,
                        traced=traced, caches=caches)
         plan.build_seconds = perf_counter() - t0
+        for sink in list(_PLAN_OBSERVERS):
+            sink(plan)
         return plan
 
     # ------------------------------------------------------------------

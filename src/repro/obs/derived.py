@@ -131,26 +131,53 @@ def _ipc(rec, spec: DeviceSpec) -> Optional[float]:
     return rec.warp_insts / _sms_used(rec, spec) / cycles
 
 
-@metric("gld_efficiency", "%",
-        "100 x requested global-load bytes / transaction-level bytes "
-        "the load access pattern moves (like nvprof, can exceed 100% "
-        "when threads re-request the same words: requested bytes count "
-        "per thread, duplicate segments dedupe on the bus)")
-def _gld_efficiency(rec, spec: DeviceSpec) -> Optional[float]:
-    bus = rec.io.get("gld_bus_bytes", 0.0)
+def _efficiency_raw(rec, kind: str) -> Optional[float]:
+    bus = rec.io.get(f"{kind}_bus_bytes", 0.0)
     if bus <= 0:
         return None
-    return 100.0 * rec.io.get("gld_useful_bytes", 0.0) / bus
+    return 100.0 * rec.io.get(f"{kind}_useful_bytes", 0.0) / bus
+
+
+@metric("gld_efficiency", "%",
+        "100 x requested global-load bytes / transaction-level bytes "
+        "the load access pattern moves, capped at 100% "
+        "(``gld_efficiency_raw`` keeps the uncapped ratio; "
+        "``gld_broadcast`` flags the >100% duplicate-word case)")
+def _gld_efficiency(rec, spec: DeviceSpec) -> Optional[float]:
+    raw = _efficiency_raw(rec, "gld")
+    return None if raw is None else min(100.0, raw)
+
+
+@metric("gld_efficiency_raw", "%",
+        "uncapped 100 x requested / bus bytes for global loads: exceeds "
+        "100% when threads re-request the same words (requested bytes "
+        "count per thread, duplicate segments dedupe on the bus)")
+def _gld_efficiency_raw(rec, spec: DeviceSpec) -> Optional[float]:
+    return _efficiency_raw(rec, "gld")
+
+
+@metric("gld_broadcast", "flag",
+        "1.0 when the raw load ratio exceeds 100% — multiple threads "
+        "requested the same words (broadcast/overlapping access), so "
+        "the capped ``gld_efficiency`` hides duplicate requests")
+def _gld_broadcast(rec, spec: DeviceSpec) -> Optional[float]:
+    raw = _efficiency_raw(rec, "gld")
+    return None if raw is None else float(raw > 100.0)
 
 
 @metric("gst_efficiency", "%",
         "100 x requested global-store bytes / transaction-level bytes "
-        "the store access pattern moves")
+        "the store access pattern moves, capped at 100% "
+        "(``gst_efficiency_raw`` keeps the uncapped ratio)")
 def _gst_efficiency(rec, spec: DeviceSpec) -> Optional[float]:
-    bus = rec.io.get("gst_bus_bytes", 0.0)
-    if bus <= 0:
-        return None
-    return 100.0 * rec.io.get("gst_useful_bytes", 0.0) / bus
+    raw = _efficiency_raw(rec, "gst")
+    return None if raw is None else min(100.0, raw)
+
+
+@metric("gst_efficiency_raw", "%",
+        "uncapped 100 x requested / bus bytes for global stores")
+def _gst_efficiency_raw(rec, spec: DeviceSpec) -> Optional[float]:
+    return _efficiency_raw(rec, "gst")
 
 
 @metric("gld_transactions_per_request", "ratio",

@@ -87,7 +87,7 @@ class SpanTracer:
     def to_chrome_trace(self) -> Dict[str, object]:
         """The ``chrome://tracing`` JSON object (load via Perfetto)."""
         events = []
-        for node, depth in self.walk():
+        for node, _depth in self.walk():
             events.append({
                 "name": node.name,
                 "ph": "X",

@@ -29,7 +29,7 @@ classic kernels land at sane absolute throughputs (scalar matmul
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from ..trace.instr import InstrClass
 from ..trace.trace import KernelTrace
@@ -112,8 +112,8 @@ class CpuTimeEstimate:
 
 def estimate_cpu_time(
     trace: KernelTrace,
-    params: CpuCostParams = CpuCostParams(),
-    cpu: CpuSpec = CpuSpec(),
+    params: Optional[CpuCostParams] = None,
+    cpu: Optional[CpuSpec] = None,
 ) -> CpuTimeEstimate:
     """Serial CPU execution time for the work recorded in ``trace``.
 
@@ -121,6 +121,8 @@ def estimate_cpu_time(
     as the scalar operation stream of a single-threaded CPU
     implementation of the same algorithm.
     """
+    params = params if params is not None else CpuCostParams()
+    cpu = cpu if cpu is not None else CpuSpec()
     trig = cpu.trig_cycles if params.fast_math else cpu.trig_cycles * 4.0
     if params.sfu_cycles is not None:
         trig = params.sfu_cycles

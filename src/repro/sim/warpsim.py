@@ -112,6 +112,8 @@ def simulate_sm(
     blocks_per_sm: int,
     spec: DeviceSpec = DEFAULT_DEVICE,
     events: Optional[List[WarpEvent]] = None,
+    sanitizer=None,
+    kernel_name: str = "",
 ) -> WarpSimResult:
     """Simulate one SM executing ``blocks_per_sm`` copies of the block.
 
@@ -122,6 +124,13 @@ def simulate_sm(
     ``events``, when a list is supplied, receives the per-warp
     scheduling timeline as :class:`WarpEvent` records (opt-in: the
     default path appends nothing and stays allocation-free).
+
+    ``sanitizer``, when a :class:`~repro.san.state.SanState` is
+    supplied, receives a synccheck ``barrier-mismatch`` finding
+    whenever a barrier releases only because some warp of the block
+    retired without reaching it (mismatched barrier counts across
+    warps — a deadlock on real hardware that this model papers over by
+    counting retired warps as arrived).
     """
     if not stream:
         return WarpSimResult(0.0, 0.0, 0.0, 0.0, 0)
@@ -144,6 +153,18 @@ def simulate_sm(
     def barrier_release(block: int, now: float) -> None:
         members = [w for w in warps if w.block == block]
         if all(m.at_barrier or m.done for m in members):
+            waiting = [m for m in members if m.at_barrier]
+            exited = [m for m in members if m.done]
+            if waiting and exited and sanitizer is not None \
+                    and sanitizer.enabled("synccheck"):
+                from ..analysis.findings import Severity
+                sanitizer.emit(
+                    "barrier-mismatch", Severity.HIGH, kernel_name,
+                    f"mismatched barrier counts in block {block}: warp(s) "
+                    f"{sorted(w.wid for w in exited)} retired without "
+                    f"reaching the barrier warp(s) "
+                    f"{sorted(w.wid for w in waiting)} wait at — deadlock "
+                    f"on real hardware")
             for m in members:
                 if m.at_barrier:
                     m.at_barrier = False

@@ -108,10 +108,38 @@ def test_tiled_matmul_gld_efficiency_g80_vs_fermi(g80_tiled, fermi_tiled):
 def test_gld_efficiency_matches_trace_split(g80_tiled):
     vals = derive_metrics(g80_tiled, G80)
     io = g80_tiled.io
-    assert vals["gld_efficiency"] == pytest.approx(
-        100.0 * io["gld_useful_bytes"] / io["gld_bus_bytes"])
+    raw = 100.0 * io["gld_useful_bytes"] / io["gld_bus_bytes"]
+    assert vals["gld_efficiency_raw"] == pytest.approx(raw)
+    assert vals["gld_efficiency"] == pytest.approx(min(100.0, raw))
     assert vals["gld_transactions_per_request"] == pytest.approx(
         io["gld_transactions"] / io["gld_accesses"])
+    # a fully coalesced kernel is not flagged as broadcast
+    assert vals["gld_broadcast"] == 0.0
+
+
+def test_broadcast_load_is_capped_and_flagged():
+    """Every thread loads the same word: per-thread requested bytes
+    exceed the deduplicated bus bytes, so the raw ratio goes past 100%.
+    The headline metric caps at 100 and the broadcast flag trips."""
+    @kernel("broadcast_ld", regs_per_thread=6)
+    def broadcast(ctx, src, out, n):
+        i = ctx.global_tid()
+        v = ctx.ld_global(src, np.zeros(ctx.nthreads, dtype=np.int64))
+        ctx.st_global(out, i, v)
+
+    from repro.cuda import Device
+    dev = Device(G80)
+    n = 256
+    src = dev.to_device(np.arange(n, dtype=np.float32), "src")
+    out = dev.to_device(np.zeros(n, dtype=np.float32), "out")
+    prof = LaunchProfiler()
+    with prof:
+        launch(broadcast, (1,), (n,), (src, out, n), device=dev)
+    vals = derive_metrics(prof.records[0], G80)
+    assert vals["gld_efficiency_raw"] > 100.0
+    assert vals["gld_efficiency"] == pytest.approx(100.0)
+    assert vals["gld_broadcast"] == 1.0
+    assert vals["gst_efficiency"] <= 100.0
 
 
 def test_strided_load_efficiency_hand_computed():

@@ -1,0 +1,33 @@
+"""Static lint sweep over every registered device profile.
+
+The hazard rules, coalescing verdicts and occupancy checks must hold
+(and stay HIGH-clean) for all 13 applications on every device the
+registry knows — G80 variants, Fermi and Ampere alike.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.lint import JSON_SCHEMA_VERSION, main as lint_main
+from repro.apps.registry import app_names
+from repro.arch.registry import device_names
+
+
+@pytest.mark.parametrize("device", device_names())
+def test_suite_lints_clean_on_device(device, capsys):
+    rc = lint_main(["--json", "--fail-on", "high", "--device", device])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION == 3
+    assert payload["device"] == device
+    covered = {report["app"] for report in payload["reports"]}
+    assert covered == set(app_names())
+    for report in payload["reports"]:
+        highs = [f for f in report["findings"] if f["severity"] == "high"]
+        assert not highs, (device, report["kernel"], highs)
+
+
+def test_unknown_device_is_a_usage_error(capsys):
+    assert lint_main(["--device", "voodoo2"]) == 2
+    capsys.readouterr()
