@@ -18,7 +18,10 @@ about PTX —
   advisor reproduces the paper's *negative* payoff when the extra
   registers cross an occupancy cliff;
 * **register tiling** keeps an output tile in registers, removing
-  address recomputation at a 4-register cost (Section 5.2).
+  address recomputation at a 4-register cost (Section 5.2);
+* **predication** flattens thread-varying branches the R8 divergence
+  census saw diverge: the per-branch SETP/BRANCH pair disappears and
+  partial-mask warps stop wasting issue slots.
 
 The adjusted census is re-estimated through the identical
 bounds/timing pipeline, so predicted payoffs and the real variant
@@ -185,6 +188,19 @@ def _apply_pass_to_trace(trace: KernelTrace, opt: OptimizationPass
         new.warp_insts[InstrClass.IALU] -= removed
         new.thread_insts[InstrClass.IALU] = max(
             0.0, new.thread_insts[InstrClass.IALU] - removed * 32)
+    elif opt.name == "predication":
+        # flatten divergent branches: each divergent branch execution
+        # loses its SETP/BRANCH pair and its partial-mask warps stop
+        # occupying issue slots with idle lanes
+        div = trace.divergent_branch_warps
+        for cls in (InstrClass.BRANCH, InstrClass.SETP):
+            removed = min(div, new.warp_insts[cls])
+            new.warp_insts[cls] -= removed
+            new.thread_insts[cls] = max(
+                0.0, new.thread_insts[cls] - removed * 32)
+        new.branch_warps = max(0.0, new.branch_warps - div)
+        new.divergent_branch_warps = 0.0
+        new.divergence_serialized_warp_insts = 0.0
 
     return new
 
@@ -206,6 +222,9 @@ def _applicable(base: PerfEstimate, opt: OptimizationPass) -> bool:
                 and trace.warp_insts[InstrClass.LD_GLOBAL] > 0)
     if opt.name == "register_tiling":
         return has_induction and trace.warp_insts[InstrClass.FMA] > 0
+    if opt.name == "predication":
+        # only priced when the static census saw warps actually diverge
+        return trace.divergent_branch_warps > 0
     return False
 
 

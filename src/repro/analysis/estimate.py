@@ -90,6 +90,29 @@ class PerfEstimate:
             gflops = min(gflops, self.issue_bound_gflops)
         return gflops
 
+    # -- divergence derate (R8) ----------------------------------------
+    @property
+    def divergent_branch_fraction(self) -> float:
+        """Static share of branch executions whose warp lanes disagree
+        (sample-block census counters, R8's quantitative side)."""
+        return self.census.trace.divergent_branch_fraction
+
+    @property
+    def divergence_serialized_fraction(self) -> float:
+        """Static share of warp issue slots spent on partial-mask
+        warps — lanes idle under divergence but the slot is consumed."""
+        return self.census.trace.divergence_serialized_fraction
+
+    @property
+    def divergence_derated_issue_gflops(self) -> float:
+        """Issue bound with the divergence-serialized issue share
+        removed: partial-mask warp instructions occupy issue slots
+        whose idle lanes do no useful FP work, so a divergent kernel
+        cannot reach the plain issue bound (advisory — the reported
+        ``static_bound_gflops`` is unchanged)."""
+        return self.issue_bound_gflops * (
+            1.0 - self.divergence_serialized_fraction)
+
     # -- prediction ----------------------------------------------------
     @property
     def predicted_gflops(self) -> float:
@@ -121,6 +144,12 @@ class PerfEstimate:
             "bandwidth_bound_gflops": round(
                 self.bandwidth_bound_gflops, 2),
             "issue_bound_gflops": round(self.issue_bound_gflops, 2),
+            "divergent_branch_fraction": round(
+                self.divergent_branch_fraction, 4),
+            "divergence_serialized_fraction": round(
+                self.divergence_serialized_fraction, 4),
+            "divergence_derated_issue_gflops": round(
+                self.divergence_derated_issue_gflops, 2),
             "static_bound_gflops": round(self.static_bound_gflops, 2),
             "memory_bound": self.bounds.memory_bound,
             "predicted_gflops": round(self.predicted_gflops, 2),
@@ -200,6 +229,12 @@ def format_estimate(est: PerfEstimate) -> str:
         f"bandwidth bound {est.bandwidth_bound_gflops:.2f} GFLOPS "
         f"(demand {est.bounds.bandwidth_demand_gbs:.1f} GB/s), "
         f"issue bound {est.issue_bound_gflops:.2f} GFLOPS")
+    if est.divergence_serialized_fraction > 0:
+        lines.append(
+            f"  divergence: {est.divergent_branch_fraction:.1%} of "
+            f"branches divergent, {est.divergence_serialized_fraction:.1%}"
+            f" of issue slots partial-mask -> derated issue bound "
+            f"{est.divergence_derated_issue_gflops:.2f} GFLOPS")
     regs = est.registers
     occ = est.occupancy
     fallback = " (declared)" if regs.fallback else ""

@@ -47,7 +47,7 @@ class Finding:
 
     rule: str                 # divergent-sync | shared-race | coalescing |
     #                           bank-conflict | occupancy | batch-safety |
-    #                           bounds | analysis
+    #                           bounds | divergence | analysis
     severity: Severity
     kernel: str
     message: str
@@ -112,6 +112,8 @@ class KernelReport:
     occupancy: Dict[str, object] = field(default_factory=dict)
     batch_hazards: List[str] = field(default_factory=list)
     batchable_declared: Optional[bool] = None
+    #: R8 summary: branch verdict counts + static divergence fractions
+    divergence: Dict[str, object] = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -145,4 +147,5 @@ class KernelReport:
             "occupancy": self.occupancy,
             "batch_hazards": self.batch_hazards,
             "batchable_declared": self.batchable_declared,
+            "divergence": self.divergence,
         }

@@ -225,6 +225,7 @@ class _MaskedCM:
     def __enter__(self) -> None:
         # BlockContext.masked issues the predicate-set and branch under
         # the parent mask, before divergence takes effect
+        self._ctx._census_branch(self._cond)
         self._ctx._census_emit(InstrClass.SETP)
         self._ctx._census_emit(InstrClass.BRANCH)
         self._ctx._push_mask(self._cond)
@@ -336,19 +337,54 @@ class LintContext:
         return self._recorder.current_line
 
     # -- census (static instruction/byte accounting) --------------------
-    def _census_emit(self, cls: InstrClass, count: int = 1) -> None:
-        """Mirror of BlockContext._emit: one warp instruction per warp
-        with any active lane, under the current divergence mask."""
-        if count == 0:
-            return
-        mask = self._mask_state()[0]
+    def _census_lane_counts(self, mask: np.ndarray) -> np.ndarray:
+        """Active-lane count per warp (mask padded to warp_size)."""
         ws = self.spec.warp_size
         pad = (-mask.shape[0]) % ws
         m = np.concatenate([mask, np.zeros(pad, dtype=bool)]) if pad \
             else mask
-        warps = int(m.reshape(-1, ws).any(axis=1).sum())
+        return m.reshape(-1, ws).sum(axis=1)
+
+    def _census_branch(self, cond) -> None:
+        """Mirror of BlockContext.masked's branch bookkeeping: count the
+        warps whose parent-active lanes disagree on ``cond``.  An
+        unknown *thread-varying* condition (a data-dependent per-lane
+        predicate) is charged pessimistically as all-warps-divergent;
+        an unknown scalar is uniform — every lane agrees."""
+        parent = self._mask_state()[0]
+        counts = self._census_lane_counts(parent)
+        warps = int((counts > 0).sum())
         if warps == 0:
             return
+        sym = as_sym(cond)
+        value = sym.concrete_value()
+        if value is None:
+            divergent = warps if is_varying(sym) else 0
+        else:
+            cvec = parent & np.broadcast_to(
+                np.asarray(value, dtype=bool), parent.shape)
+            taken = self._census_lane_counts(cvec)
+            skipped = self._census_lane_counts(parent & ~cvec)
+            divergent = int(((taken > 0) & (skipped > 0)).sum())
+        self.census.record_branch(warps, divergent)
+
+    def _census_emit(self, cls: InstrClass, count: int = 1) -> None:
+        """Mirror of BlockContext._emit: one warp instruction per warp
+        with any active lane, under the current divergence mask.  A
+        partial-mask warp (divergence in effect) still occupies a full
+        issue slot — counted toward the serialized-divergence total."""
+        if count == 0:
+            return
+        mask = self._mask_state()[0]
+        counts = self._census_lane_counts(mask)
+        warps = int((counts > 0).sum())
+        if warps == 0:
+            return
+        if len(self._mask_stack) > 1:
+            base = self._census_lane_counts(self._mask_stack[0][0])
+            partial = int(((counts > 0) & (counts < base)).sum())
+            if partial:
+                self.census.record_divergent_issue(partial * count)
         self.census.record_instr(cls, warps * count,
                                  int(mask.sum()) * count)
 

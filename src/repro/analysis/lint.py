@@ -9,6 +9,7 @@ Usage::
     python -m repro.analysis.lint --estimate       # + static PerfEstimate
     python -m repro.analysis.lint --advise         # + optimization advice
     python -m repro.analysis.lint --device gtx_480 # another device profile
+    python -m repro.analysis.lint --list-rules     # the R1-R8 catalogue
 
 Each application contributes the representative launch geometries it
 declares via :meth:`repro.apps.base.Application.lint_targets`; every
@@ -45,11 +46,12 @@ from typing import List, Optional, Sequence
 
 from ..arch.device import DEFAULT_DEVICE, DeviceSpec
 from .findings import Finding, KernelReport, Severity
-from .rules import analyze_target
+from .rules import RULES, analyze_target
 
 #: version of the ``--json`` envelope; bump on shape changes
-#: (v3 added the top-level "device" field)
-JSON_SCHEMA_VERSION = 3
+#: (v3 added the top-level "device" field; v4 added the top-level
+#: "rules" catalogue and per-report "divergence" summaries — R8)
+JSON_SCHEMA_VERSION = 4
 
 
 def _finding_sort_key(finding: Finding):
@@ -121,7 +123,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default="geforce_8800_gtx",
                         help="registered device profile to analyze "
                              "against (see repro.arch.registry)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the R1-R8 rule catalogue and exit")
     args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.id}  {rule.name:16s} [{rule.severities:12s}] "
+                  f"{rule.summary}")
+        return 0
 
     from ..arch.registry import device_by_name
     try:
@@ -167,6 +177,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             payload.append(entry)
         print(json.dumps({"schema_version": JSON_SCHEMA_VERSION,
                           "device": args.device,
+                          "rules": [r.to_dict() for r in RULES],
                           "reports": payload}, indent=2))
     else:
         from .advisor import format_advice

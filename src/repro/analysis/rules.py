@@ -27,10 +27,17 @@ The rules mirror the paper's optimization checklist:
   (:mod:`repro.compile`) can lower the kernel to a whole-grid
   program; failures are INFO findings naming the construct so the
   ``compiled`` executor's per-kernel fallback is visible in reports.
+* **R7 launch dataflow** — cross-launch def-use chains over the
+  application's recorded launch sequence (fusion legality).
+* **R8 divergence** — the uniformity/divergence dataflow over the
+  kernel IR (:mod:`repro.analysis.divergence`): barriers under
+  thread-varying control flow (the static twin of synccheck), hot
+  divergent branches, and proven-uniform predication.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -38,6 +45,7 @@ import numpy as np
 from ..arch.device import DEFAULT_DEVICE, DeviceSpec
 from ..cuda.dim3 import as_dim3
 from ..sim.occupancy import compute_occupancy
+from ..trace.trace import KernelTrace
 from .findings import AccessSummary, Finding, KernelReport, Severity
 from .interp import HazardEvent, MemEvent, SyncEvent, interpret
 from .symbolic import (
@@ -64,6 +72,61 @@ _HAZARD_LABELS = {
 def _rank(pattern: str) -> int:
     base = pattern.split("(")[0]
     return _PATTERN_RANK.index(base) if base in _PATTERN_RANK else 0
+
+
+# ----------------------------------------------------------------------
+# Rule catalogue — the source of truth for README's table and
+# ``python -m repro.analysis.lint --list-rules``
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """One analyzer rule family: id, finding vocabulary, severity span."""
+
+    id: str
+    name: str
+    #: ``Finding.rule`` strings this family emits
+    finding_rules: Tuple[str, ...]
+    #: severity range, e.g. "medium-high"
+    severities: str
+    summary: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"id": self.id, "name": self.name,
+                "finding_rules": list(self.finding_rules),
+                "severities": self.severities, "summary": self.summary}
+
+
+RULES: Tuple[RuleInfo, ...] = (
+    RuleInfo("R1", "barriers",
+             ("divergent-sync", "shared-race", "shared-uninit"),
+             "medium-high",
+             "shared-memory races across barrier intervals, divergent "
+             "__syncthreads, reads of never-written shared cells"),
+    RuleInfo("R2", "coalescing", ("coalescing",), "info-medium",
+             "global access shape per coalescing group vs the device "
+             "rule (segments on CUDA 1.x, cache lines on Fermi+)"),
+    RuleInfo("R3", "shared memory", ("bank-conflict", "bounds"),
+             "info-high",
+             "bank-conflict degree mod the bank count, static bounds "
+             "violations, serialized constant broadcasts"),
+    RuleInfo("R4", "resources", ("occupancy",), "info-high",
+             "occupancy from register/shared pressure, cliffs and "
+             "low-occupancy advisories"),
+    RuleInfo("R5", "batch safety", ("batch-safety",), "info-high",
+             "constructs that break BatchedExecutor widening, checked "
+             "against the kernel's declared batchable flag"),
+    RuleInfo("R6", "compilability", ("compile",), "info",
+             "whether the grid compiler can lower the kernel; failures "
+             "name the construct behind the interpreter fallback"),
+    RuleInfo("R7", "launch dataflow", ("launch-dataflow",), "info",
+             "cross-launch global def-use chains: fusable-private vs "
+             "loop-carried intermediates (fusion legality)"),
+    RuleInfo("R8", "divergence", ("divergence",), "info-high",
+             "uniformity dataflow over the kernel IR: barriers under "
+             "thread-varying control flow, hot divergent branches, "
+             "proven-uniform predication"),
+)
 
 
 def sample_coords(grid) -> List[Tuple[int, int, int]]:
@@ -685,6 +748,65 @@ def launch_dataflow(app_name: str, spec: DeviceSpec = DEFAULT_DEVICE,
 
 
 # ----------------------------------------------------------------------
+# R8: divergence — uniformity dataflow over the kernel IR
+# ----------------------------------------------------------------------
+
+def rule_divergence(kernel, name: str,
+                    census: Optional[KernelTrace] = None,
+                    ) -> Tuple[List[Finding], Dict[str, object]]:
+    """Static divergence verdicts from the IR dataflow
+    (:mod:`repro.analysis.divergence`), the static twin of the dynamic
+    synccheck tool:
+
+    * HIGH — ``__syncthreads`` reachable under thread-varying control
+      flow (deadlocks on hardware; synccheck catches it dynamically);
+    * MEDIUM — a thread-varying branch inside a loop (hot: both paths
+      serialize every iteration, Section 4's issue-rate derate);
+    * INFO — a ``ctx.masked`` region whose condition is proven uniform
+      or block-uniform: every lane of a block agrees, so the compiler
+      may un-predicate it (no divergence cost).
+
+    ``census``, when supplied, contributes the sample-block static
+    divergent-warp fractions to the returned summary dict.
+    """
+    from .divergence import Uniformity, analyze_divergence
+    try:
+        analysis = analyze_divergence(kernel)
+    except Exception:              # IR lowering is best-effort
+        return [], {}
+    findings: List[Finding] = []
+    for s in analysis.divergent_syncs:
+        findings.append(Finding(
+            "divergence", Severity.HIGH, name,
+            "__syncthreads() reachable under thread-varying control "
+            "flow — the uniformity dataflow proves lanes of a warp can "
+            "disagree on the enclosing branch (deadlocks on hardware)",
+            s.line))
+    for b in analysis.branches:
+        if b.uniformity is Uniformity.VARYING:
+            if b.in_loop and b.kind in ("masked", "if"):
+                findings.append(Finding(
+                    "divergence", Severity.MEDIUM, name,
+                    f"thread-varying {b.kind} branch inside a loop: "
+                    f"divergent warps serialize both paths every "
+                    f"iteration (issue-rate derate, Section 4)", b.line))
+        elif b.kind == "masked":
+            findings.append(Finding(
+                "divergence", Severity.INFO, name,
+                f"masked branch condition is {b.uniformity}: every "
+                f"lane of a block agrees, so the predication is "
+                f"removable (compiler may lower it branch-free)",
+                b.line))
+    summary = analysis.summary()
+    if census is not None:
+        summary["static_divergent_branch_fraction"] = round(
+            census.divergent_branch_fraction, 6)
+        summary["static_serialized_fraction"] = round(
+            census.divergence_serialized_fraction, 6)
+    return findings, summary
+
+
+# ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
 
@@ -713,6 +835,7 @@ def analyze_target(target: LintTarget, app: str = "",
     smem_bytes = static_smem
     regs_estimated = 0
     notes: List[Tuple[int, str]] = []
+    census_total = KernelTrace()
 
     def add(findings: List[Finding]) -> None:
         for f in findings:
@@ -750,6 +873,7 @@ def analyze_target(target: LintTarget, app: str = "",
                     hazards.append(ev)
         smem_bytes = max(smem_bytes, ctx.smem_bytes + static_smem)
         regs_estimated = max(regs_estimated, recorder.live_regs_max)
+        census_total.merge(ctx.census)
         for note in recorder.notes:
             if note not in notes:
                 notes.append(note)
@@ -759,6 +883,9 @@ def analyze_target(target: LintTarget, app: str = "",
     add(occ_findings)
     add(rule_batch_safety(hazards, name, declared))
     add(rule_compilability(kernel, name))
+    div_findings, div_summary = rule_divergence(kernel, name, census_total)
+    add(div_findings)
+    report.divergence = div_summary
     add([Finding("analysis", Severity.INFO, name, message, line or None)
          for line, message in notes])
 

@@ -370,6 +370,168 @@ def golden_checks(golden: Dict[str, Dict[str, float]],
     return checks
 
 
+# ----------------------------------------------------------------------
+# R8 divergence: static census vs dynamic trace vs warpsim
+# ----------------------------------------------------------------------
+
+#: absolute tolerance for static-vs-dynamic divergent-branch-fraction
+#: agreement.  The census samples three block coordinates and scales,
+#: while the profiled workload runs its own geometry (edge blocks,
+#: different trace_blocks), so the fraction can shift by several
+#: percentage points either way without the verdict being wrong.
+#: The static fraction is additionally a *pessimistic upper bound*
+#: for data-dependent branches (the census seeds loaded values as
+#: worst-case thread-varying — fem's row-length loop), so the check
+#: is one-sided on that axis: dynamic may undershoot static freely,
+#: but must never exceed it by more than the tolerance, and both
+#: sides must agree on whether the kernel diverges at all.
+DIVERGENCE_ATOL = 0.15
+
+#: minimum divergent-branch fraction that counts as "diverges at all"
+DIVERGENCE_MIN_FRACTION = 0.01
+
+#: absolute tolerance for trace-vs-warpsim serialized-fraction
+#: agreement — the two denominators differ (warp instructions vs issue
+#: cycles), so SFU-heavy kernels can diverge by a few percent
+WARPSIM_ATOL = 0.05
+
+
+def _materialized_launch(target, spec: DeviceSpec):
+    """Execute a lint target with stream recording (seeded inputs) —
+    the same materialization :func:`repro.obs.timeline.timeline_for_target`
+    uses, but returning the raw :class:`LaunchResult` for warpsim."""
+    import numpy as np
+    from ..cuda.launch import launch as run_launch
+    from ..cuda.memory import Device
+    from .targets import LintArray
+
+    dev = Device(spec)
+    rng = np.random.default_rng(7)
+    # integer arrays are almost always indirection indices (SpMV column
+    # indices, neighbour lists): keep them within the smallest float
+    # array so the synthesized launch stays in bounds
+    float_sizes = [a.size for a in target.args
+                   if isinstance(a, LintArray) and not a.is_integer
+                   and a.size]
+    index_bound = min(float_sizes) if float_sizes else 1024
+
+    def materialize(arg):
+        if not isinstance(arg, LintArray):
+            return arg
+        n = arg.size if arg.size else 1024
+        if arg.is_integer:
+            host = rng.integers(0, max(2, index_bound),
+                                size=n).astype(arg.dtype)
+        else:
+            host = rng.random(n).astype(arg.dtype)
+        place = {"global": dev.to_device, "const": dev.to_constant,
+                 "tex": dev.to_texture}[arg.space]
+        return place(host, arg.name)
+
+    args = tuple(materialize(a) for a in target.args)
+    return run_launch(target.kernel, target.grid, target.block, args,
+                      device=dev, functional=False, trace_blocks=1,
+                      record_stream=True)
+
+
+def divergence_checks(spec: DeviceSpec = DEFAULT_DEVICE,
+                      apps: Optional[Sequence[str]] = None
+                      ) -> List[Check]:
+    """R8 cross-validation, three layers:
+
+    1. **clean apps** — every suite application must carry no R8 HIGH
+       statically, and each kernel's static census divergent-branch
+       fraction must match the profiled dynamic fraction within
+       :data:`DIVERGENCE_ATOL` (absolute);
+    2. **trace vs warpsim** — for every lint target, the dynamic
+       trace's divergence-serialized issue share must agree with the
+       warpsim replay of the same recorded block stream within
+       :data:`WARPSIM_ATOL`;
+    3. **broken catalogue** — static R8 HIGH ⇔ the sanitizer's dynamic
+       ``divergent-sync`` HIGH, kernel by kernel over
+       :data:`repro.san.broken.BROKEN`.
+    """
+    from ..apps.registry import app_names, get_app
+    from ..san.broken import BROKEN
+    from ..sim.warpsim import simulate_launch
+    from .findings import Severity
+
+    names = list(apps) if apps is not None else app_names()
+    checks: List[Check] = []
+
+    for name in names:
+        app = get_app(name, spec)
+        reports: Dict[str, KernelReport] = {}
+        for target in app.lint_targets():
+            rep = analyze_target(target, app=name, spec=spec)
+            reports[rep.kernel] = rep
+            highs = [f for f in rep.findings
+                     if f.rule == "divergence"
+                     and f.severity is Severity.HIGH]
+            checks.append(Check(
+                f"{name}/{rep.kernel}", "no R8 divergent-sync HIGH",
+                len(highs), 0, not highs))
+
+            # layer 2: trace vs warpsim on the target's own geometry
+            try:
+                result = _materialized_launch(target, spec)
+                sim = simulate_launch(result, spec)
+            except Exception as exc:
+                checks.append(Check(
+                    f"{name}/{rep.kernel}",
+                    "trace vs warpsim serialized fraction",
+                    "error", f"{type(exc).__name__}: {exc}", False))
+                continue
+            t_frac = result.trace.divergence_serialized_fraction
+            w_frac = sim.divergence_serialized_fraction
+            checks.append(Check(
+                f"{name}/{rep.kernel}",
+                "trace vs warpsim serialized fraction",
+                round(t_frac, 4), round(w_frac, 4),
+                abs(t_frac - w_frac) <= WARPSIM_ATOL))
+
+        # layer 1b: static census fraction vs the profiled workload
+        with LaunchProfiler(estimate=False) as prof:
+            app.run(app.default_workload("test"), functional=False)
+        agg: Dict[str, List[float]] = {}
+        for rec in prof.records:
+            tot = agg.setdefault(rec.kernel, [0.0, 0.0])
+            tot[0] += rec.branch_warps
+            tot[1] += rec.divergent_branch_warps
+        for kernel, (branches, divergent) in sorted(agg.items()):
+            rep = reports.get(kernel)
+            if rep is None or not rep.divergence:
+                continue
+            static_frac = float(rep.divergence.get(
+                "static_divergent_branch_fraction", 0.0))
+            dyn_frac = divergent / branches if branches else 0.0
+            # one-sided: static is a pessimistic upper bound for
+            # data-dependent branches; both sides must still agree on
+            # whether the kernel diverges at all (see DIVERGENCE_ATOL)
+            bounded = dyn_frac <= static_frac + DIVERGENCE_ATOL
+            same_character = ((static_frac >= DIVERGENCE_MIN_FRACTION)
+                              == (dyn_frac >= DIVERGENCE_MIN_FRACTION))
+            checks.append(Check(
+                f"{name}/{kernel}", "divergent-branch fraction",
+                round(static_frac, 4), round(dyn_frac, 4),
+                bounded and same_character))
+
+    # layer 3: the broken catalogue, R8 vs synccheck
+    for bk in BROKEN:
+        rep = analyze_target(bk.target())
+        static_hit = any(f.rule == "divergence"
+                         and f.severity is Severity.HIGH
+                         for f in rep.findings)
+        res = bk.run()
+        dynamic_hit = any(f.rule == "divergent-sync"
+                          and f.severity is Severity.HIGH
+                          for f in res.san.all_findings())
+        checks.append(Check(
+            f"broken/{bk.name}", "R8 HIGH == synccheck divergent-sync",
+            static_hit, dynamic_hit, static_hit == dynamic_hit))
+    return checks
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.validate",
@@ -379,6 +541,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="emit checks as JSON")
     parser.add_argument("--skip-estimator", action="store_true",
                         help="only run the hazard-analyzer checks")
+    parser.add_argument("--divergence", action="store_true",
+                        help="also run the R8 divergence cross-"
+                             "validation: static census fractions vs "
+                             "profiled counters vs warpsim over every "
+                             "suite app and the broken catalogue")
     parser.add_argument("--golden", metavar="PATH", default=None,
                         help="gate predicted/simulated ratios against "
                              "this golden JSON file")
@@ -387,6 +554,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     checks = validation_checks()
+    if args.divergence:
+        checks.extend(divergence_checks())
     if not args.skip_estimator:
         pairs = estimator_pairs()
         if args.write_golden:

@@ -100,6 +100,23 @@ def format_records(records: Sequence[LaunchRecord],
     return out
 
 
+def format_divergence(records: Sequence[LaunchRecord]) -> str:
+    """Per-launch branch-divergence details (R8's dynamic counters)."""
+    lines = ["branch divergence:"]
+    for rec in records:
+        if rec.branch_warps == 0:
+            lines.append(f"  {rec.kernel}: no branches recorded")
+            continue
+        lines.append(
+            f"  {rec.kernel}: {_fmt_count(rec.branch_warps)} branch "
+            f"warps, {_fmt_count(rec.divergent_branch_warps)} divergent "
+            f"({rec.divergent_branch_fraction:.1%}); "
+            f"{_fmt_count(rec.divergence_serialized_warp_insts)} "
+            f"partial-mask warp insts "
+            f"({rec.divergence_serialized_fraction:.1%} of issue)")
+    return "\n".join(lines)
+
+
 def format_metrics(profiler: LaunchProfiler) -> str:
     """Readable dump of the registry counters the run accumulated."""
     lines = ["metrics:"]
@@ -253,6 +270,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "(arithmetic intensity vs device peaks); "
                              "with --estimate the static points join "
                              "the chart")
+    parser.add_argument("--divergence", action="store_true",
+                        help="append per-launch branch-divergence "
+                             "details (branch warps, divergent "
+                             "fraction, serialized issue share — the "
+                             "R8 dynamic counters)")
     parser.add_argument("--timeline", metavar="PATH", default=None,
                         help="record a per-SM warp timeline of the app's "
                              "representative kernel (event-recording "
@@ -349,6 +371,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             payload["lint"] = [r.to_dict() for r in lint_reports]
         if estimates is not None:
             payload["estimates"] = [e.to_dict() for e in estimates]
+        if args.divergence:
+            payload["divergence"] = [
+                {"kernel": rec.kernel,
+                 "branch_warps": rec.branch_warps,
+                 "divergent_branch_warps": rec.divergent_branch_warps,
+                 "divergent_branch_fraction": round(
+                     rec.divergent_branch_fraction, 6),
+                 "divergence_serialized_warp_insts": (
+                     rec.divergence_serialized_warp_insts),
+                 "divergence_serialized_fraction": round(
+                     rec.divergence_serialized_fraction, 6)}
+                for rec in profiler.records]
         if derived is not None:
             payload["derived_metrics"] = [
                 {"kernel": rec.kernel, "metrics": vals}
@@ -378,6 +412,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("static performance estimates:")
             for est in estimates:
                 print("  " + format_estimate(est).replace("\n", "\n  "))
+        if args.divergence:
+            print()
+            print(format_divergence(profiler.records))
         if derived is not None:
             from ..obs.derived import format_derived
             for rec, vals in derived:

@@ -13,8 +13,12 @@ into an ordinary Python function over :class:`repro.compile.runtime.GridRT`:
   finally: pop_mask()`` (predicated stores, no divergence)
 * ``ctx.sync()``                  -> deleted: whole-grid statements
   already form one program point per source line, so the barrier is
-  a compile-time split, not a runtime operation (refused inside
-  ``masked`` — the DSL would deadlock there too)
+  a compile-time split, not a runtime operation.  Inside ``masked``
+  it is allowed only when the R8 uniformity dataflow
+  (:mod:`repro.analysis.divergence`) proves every enclosing mask
+  uniform/block-uniform — every lane of a block agrees, so the
+  barrier is never divergent; otherwise refused (the DSL would
+  deadlock there too)
 * ``ctx.loop_tail/address_ops``   -> deleted (bookkeeping only)
 * ``np.zeros(ctx.nthreads, ...)`` -> broadcastable lane seed, even
   through aliases (``t = ctx.nthreads``), via the runtime NumPy shim
@@ -124,6 +128,13 @@ class _FunctionLowerer(ast.NodeTransformer):
         self.bindings = bindings        # globals dict of the lowered fn
         self.locals: set = set()
         self.mask_depth = 0
+        #: absolute source lines of ``ctx.masked`` branches the R8
+        #: uniformity dataflow proved uniform/block-uniform — a
+        #: ``__syncthreads`` under only such masks is never divergent
+        #: (every lane of a block agrees), so it lowers instead of
+        #: refusing the kernel
+        self.uniform_lines: frozenset = frozenset()
+        self._masked_uniform: List[bool] = []
 
     def fail(self, node: Optional[ast.AST], message: str) -> CompileError:
         line = getattr(node, "lineno", None)
@@ -247,10 +258,12 @@ class _FunctionLowerer(ast.NodeTransformer):
             if op in _META_OPS:
                 return None                      # pure accounting
             if op == "sync":
-                if self.mask_depth:
+                if self._masked_uniform and not all(self._masked_uniform):
                     raise self.fail(
                         node, "__syncthreads() inside divergent control "
-                              "flow (the DSL rejects it at runtime too)")
+                              "flow — the uniformity analysis cannot "
+                              "prove every enclosing mask uniform (the "
+                              "DSL rejects it at runtime too)")
                 self.session.sync_points += 1
                 return None                      # program-point split
         return self.generic_visit(node)
@@ -271,11 +284,15 @@ class _FunctionLowerer(ast.NodeTransformer):
         if len(call.args) != 1 or call.keywords:
             raise self.fail(node, "ctx.masked takes exactly one condition")
         cond = self.visit(call.args[0])
+        base = getattr(self.fn.__code__, "co_firstlineno", 1)
+        absolute = base + node.lineno - 1
         self.mask_depth += 1
+        self._masked_uniform.append(absolute in self.uniform_lines)
         try:
             body = self._visit_body(node.body, node)
         finally:
             self.mask_depth -= 1
+            self._masked_uniform.pop()
         rt = ast.Name("__rt", ast.Load())
         push = ast.Expr(ast.Call(
             ast.Attribute(rt, "push_mask", ast.Load()), [cond], []))
@@ -465,6 +482,13 @@ class LoweringSession:
         lowered_name = f"__grid_{fn.__name__}_{self._counter}"
         bindings: Dict[str, object] = {"__builtins__": builtins}
         lowerer = _FunctionLowerer(self, fn, ctx_names, env, bindings)
+        if len(self._in_progress) == 1:
+            # root kernel entry only: launch arguments are grid
+            # constants, so the R8 dataflow's UNIFORM parameter seed is
+            # sound.  Helpers may receive per-lane arguments and keep
+            # the conservative refusal.
+            from ..analysis.divergence import uniform_mask_lines
+            lowerer.uniform_lines = uniform_mask_lines(fn)
         new_def = lowerer.lower(fndef, ctx_positions, lowered_name)
         module = ast.Module(body=[new_def], type_ignores=[])
         ast.fix_missing_locations(module)

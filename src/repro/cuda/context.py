@@ -188,6 +188,9 @@ class BlockContext:
         #: simulator (populated when the launch records streams)
         self.stream = stream
         self._mask_stack: List[np.ndarray] = [np.ones(T, dtype=bool)]
+        #: lazily-computed per-warp lane counts of the base mask (the
+        #: reference for divergence-serialization accounting)
+        self._base_lane_counts: Optional[np.ndarray] = None
         self._smem_words = 0
         self.shared_arrays: List[SharedArray] = []
 
@@ -233,21 +236,55 @@ class BlockContext:
             mask = np.concatenate([mask, np.zeros(pad, dtype=bool)])
         return int(mask.reshape(-1, ws).any(axis=1).sum())
 
+    def _warp_lane_counts(self, mask: np.ndarray) -> np.ndarray:
+        """Active-lane count per warp (warp-size padded)."""
+        ws = self.spec.warp_size
+        pad = (-mask.shape[0]) % ws
+        if pad:
+            mask = np.concatenate([mask, np.zeros(pad, dtype=bool)])
+        return mask.reshape(-1, ws).sum(axis=1)
+
+    def _partial_warps(self, mask: np.ndarray) -> int:
+        """Warps issuing under ``mask`` with fewer active lanes than
+        the block's base mask gives them — the lanes a divergent
+        branch idled (pure block-geometry padding is excluded)."""
+        if self._base_lane_counts is None:
+            self._base_lane_counts = self._warp_lane_counts(
+                self._mask_stack[0])
+        counts = self._warp_lane_counts(mask)
+        return int(((counts > 0)
+                    & (counts < self._base_lane_counts)).sum())
+
+    def _divergent_warps(self, parent: np.ndarray,
+                         cond: np.ndarray) -> int:
+        """Warps whose ``parent``-active lanes disagree on ``cond`` —
+        those warps execute both sides of the branch serially."""
+        taken = self._warp_lane_counts(parent & cond)
+        skipped = self._warp_lane_counts(parent & ~cond)
+        return int(((taken > 0) & (skipped > 0)).sum())
+
     def _emit(self, cls: InstrClass, count: int = 1,
               mask: Optional[np.ndarray] = None,
-              mem: Optional[Tuple[float, float]] = None) -> None:
+              mem: Optional[Tuple[float, float]] = None,
+              divergent_warps: int = 0) -> None:
         if self.trace is None or count == 0:
             return
         m = self.mask if mask is None else mask
         warps = self._active_warps(m)
         if warps == 0:
             return
+        partial = 0
+        if len(self._mask_stack) > 1:
+            partial = self._partial_warps(m)
+            if partial:
+                self.trace.record_divergent_issue(partial * count)
         self.trace.record_instr(cls, warps * count, int(m.sum()) * count)
         if self.stream is not None:
             from ..sim.warpsim import StreamEvent
             txn_w, bytes_w = mem if mem else (0.0, 0.0)
             self.stream.extend(
-                StreamEvent(cls, warps, txn_w, bytes_w)
+                StreamEvent(cls, warps, txn_w, bytes_w,
+                            divergent_warps, partial)
                 for _ in range(count))
 
     @contextlib.contextmanager
@@ -261,8 +298,15 @@ class BlockContext:
         exactly the SIMD divergence cost of Section 3.
         """
         cond = np.broadcast_to(np.asarray(cond, dtype=bool), (self.nthreads,))
+        divergent = 0
+        if self.trace is not None:
+            parent = self.mask
+            warps = self._active_warps(parent)
+            if warps:
+                divergent = self._divergent_warps(parent, cond)
+                self.trace.record_branch(warps, divergent)
         self._emit(InstrClass.SETP)
-        self._emit(InstrClass.BRANCH)
+        self._emit(InstrClass.BRANCH, divergent_warps=divergent)
         self._mask_stack.append(self.mask & cond)
         try:
             yield
@@ -636,10 +680,15 @@ class BlockContext:
         """``__syncthreads()`` — block-wide barrier.
 
         Divergent barriers (a barrier inside a :meth:`masked` region
-        that not all threads reach) deadlock real hardware; we reject
-        them loudly instead.
+        that only *some* threads reach) deadlock real hardware; we
+        reject them loudly instead.  A barrier under an all-false mask
+        is dead code — no thread of this block reaches it (the
+        block-uniform false branch), so nothing waits and nothing
+        deadlocks.
         """
         if len(self._mask_stack) > 1 and not self.mask.all():
+            if not self.mask.any():
+                return          # unreachable for every thread: no-op
             raise CudaModelError(
                 f"{self._where()}: __syncthreads() inside divergent "
                 f"control flow")

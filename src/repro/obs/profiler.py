@@ -123,6 +123,10 @@ class LaunchRecord:
     bank_conflict_cycles: float = 0.0
     cache: Dict[str, float] = field(default_factory=dict)
     syncs: float = 0.0
+    #: branch / divergence counters (R8's dynamic side)
+    branch_warps: float = 0.0
+    divergent_branch_warps: float = 0.0
+    divergence_serialized_warp_insts: float = 0.0
 
     # timing-model attribution
     model_seconds: float = 0.0
@@ -166,6 +170,10 @@ class LaunchRecord:
             bank_conflict_cycles=trace.shared_conflict_cycles,
             cache=_cache_counters(trace),
             syncs=trace.syncs,
+            branch_warps=trace.branch_warps,
+            divergent_branch_warps=trace.divergent_branch_warps,
+            divergence_serialized_warp_insts=(
+                trace.divergence_serialized_warp_insts),
         )
         rec.spec = result.spec
         if estimate and trace.total_warp_insts > 0:
@@ -220,6 +228,10 @@ class LaunchRecord:
             bank_conflict_cycles=trace.shared_conflict_cycles,
             cache=_cache_counters(trace),
             syncs=trace.syncs,
+            branch_warps=trace.branch_warps,
+            divergent_branch_warps=trace.divergent_branch_warps,
+            divergence_serialized_warp_insts=(
+                trace.divergence_serialized_warp_insts),
         )
 
     # ------------------------------------------------------------------
@@ -240,6 +252,21 @@ class LaunchRecord:
             if rate is not None:
                 out[space] = rate
         return out
+
+    @property
+    def divergent_branch_fraction(self) -> float:
+        """Fraction of branch executions whose warp lanes disagreed."""
+        if self.branch_warps == 0:
+            return 0.0
+        return self.divergent_branch_warps / self.branch_warps
+
+    @property
+    def divergence_serialized_fraction(self) -> float:
+        """Fraction of issued warp instructions executed under a
+        partial mask — issue slots consumed while lanes idle."""
+        if self.warp_insts == 0:
+            return 0.0
+        return self.divergence_serialized_warp_insts / self.warp_insts
 
     @property
     def overall_transactions_per_access(self) -> float:
@@ -277,6 +304,14 @@ class LaunchRecord:
                 "shared_insts": self.shared_insts,
                 "bank_conflict_cycles": self.bank_conflict_cycles,
                 "syncs": self.syncs,
+                "branch_warps": self.branch_warps,
+                "divergent_branch_warps": self.divergent_branch_warps,
+                "divergence_serialized_warp_insts": (
+                    self.divergence_serialized_warp_insts),
+                "divergent_branch_fraction": round(
+                    self.divergent_branch_fraction, 6),
+                "divergence_serialized_fraction": round(
+                    self.divergence_serialized_fraction, 6),
                 **self.io,
                 **self.cache,
             },
@@ -296,11 +331,15 @@ class LaunchRecord:
         hits = self.cache_hit_rates()
         caches = "".join(f"  {space}_hit={rate:.0%}"
                          for space, rate in hits.items())
+        div = ""
+        if self.divergent_branch_warps > 0:
+            div = (f"  div_branch={self.divergent_branch_fraction:.0%}"
+                   f"  div_serial={self.divergence_serialized_fraction:.0%}")
         return (f"{self.kernel}  grid {self.grid}  block {self.block}  "
                 f"exec={self.executor}  blocks {self.blocks_executed}"
                 f"/{self.blocks_total} (traced {self.blocks_traced}, "
                 f"memo {self.memo_hits})  {self.gflops:.2f} GFLOPS  "
-                f"bound={self.bound}{caches}")
+                f"bound={self.bound}{caches}{div}")
 
 
 #: stack of entered profilers; the innermost one receives records

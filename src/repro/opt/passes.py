@@ -70,6 +70,12 @@ OPTIMIZATION_PASSES: Dict[str, OptimizationPass] = {
         "register_tiling", regs_delta=+4, insts_per_iter_delta=-1.0,
         description="keep a small output tile in registers "
                     "(Section 5.2, used by H.264's outer loops)"),
+    "predication": OptimizationPass(
+        "predication", regs_delta=0, insts_per_iter_delta=-2.0,
+        description="flatten thread-varying branches into predicated "
+                    "straight-line code (R8 divergence): deletes the "
+                    "per-branch SETP/BRANCH pair and stops divergent "
+                    "warps serializing both paths"),
 }
 
 

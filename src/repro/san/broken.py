@@ -63,6 +63,32 @@ def divergent_sync(ctx, x, out, n):
     ctx.st_global(out, tid, ctx.ld_shared(buf, tid))
 
 
+@kernel("nested_divergent_sync", regs_per_thread=6)
+def nested_divergent_sync(ctx, x, out, n):
+    """Barrier under a thread-varying mask nested in a block-uniform
+    one — only the R8 uniformity dataflow proves the nesting divergent
+    statically."""
+    tid = ctx.tid
+    buf = ctx.shared_alloc(N, np.float32, "buf")
+    ctx.st_shared(buf, tid, ctx.ld_global(x, tid))
+    with ctx.masked(ctx.bx == 0):
+        with ctx.masked(tid < n // 2):
+            ctx.sync()
+    ctx.st_global(out, tid, ctx.ld_shared(buf, tid))
+
+
+@kernel("data_dependent_sync", regs_per_thread=6)
+def data_dependent_sync(ctx, x, out, n):
+    """Barrier predicated on loaded data: lanes of a warp disagree
+    whenever the data does (statically thread-varying, dynamically a
+    synccheck deadlock on the canonical input)."""
+    tid = ctx.tid
+    v = ctx.ld_global(x, tid)
+    with ctx.masked(v > 64.0):
+        ctx.sync()
+    ctx.st_global(out, tid, v)
+
+
 @kernel("tile_edge_oob", regs_per_thread=6)
 def tile_edge_oob(ctx, x, out, n):
     """Off-by-one at the tile edge: the last thread loads ``x[n]``."""
@@ -162,6 +188,11 @@ BROKEN: Tuple[BrokenKernel, ...] = (
         "racecheck", {"shared-race"}, {"shared-race"}),
     _bk(divergent_sync, "__syncthreads() under a divergent mask",
         "synccheck", {"divergent-sync"}, {"divergent-sync"}),
+    _bk(nested_divergent_sync,
+        "barrier under a varying mask nested in a uniform one",
+        "synccheck", {"divergence"}, {"divergent-sync"}),
+    _bk(data_dependent_sync, "barrier predicated on loaded data",
+        "synccheck", {"divergence"}, {"divergent-sync"}),
     _bk(tile_edge_oob, "off-by-one global load at the tile edge",
         "memcheck", {"bounds"}, {"oob-global"}),
     _bk(uninit_acc, "shared accumulator never initialized",

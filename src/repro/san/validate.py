@@ -41,7 +41,8 @@ from .state import SanState
 #: also emits performance rules — coalescing, occupancy — that have no
 #: dynamic counterpart and stay out of the verdict)
 STATIC_SAN_RULES = frozenset(
-    {"shared-race", "divergent-sync", "bounds", "shared-uninit"})
+    {"shared-race", "divergent-sync", "bounds", "shared-uninit",
+     "divergence"})
 
 #: multi-launch applications whose R7 classification is cross-checked
 DATAFLOW_APPS = ("lbm", "fdtd", "mri-fhd")

@@ -69,6 +69,12 @@ class StreamEvent:
     transactions_per_warp: float = 0.0
     #: DRAM bus bytes per warp for this event
     bus_bytes_per_warp: float = 0.0
+    #: warps of the recording block whose lanes disagreed on this
+    #: branch condition (BRANCH events only) — both paths serialize
+    divergent_warps: int = 0
+    #: warps that issued this instruction with a partial lane mask
+    #: (divergence in effect: the SM still spends a full issue slot)
+    partial_warps: int = 0
 
     @property
     def is_sync(self) -> bool:
@@ -86,10 +92,35 @@ class WarpSimResult:
     issue_busy_cycles: float
     mem_busy_cycles: float
     instructions_issued: int
+    #: branch executions whose warp lanes disagreed (summed over all
+    #: simulated blocks) — the dynamic ground truth R8 validates against
+    divergent_branches: float = 0.0
+    #: issue cycles spent on partial-mask warp instructions — the
+    #: serialization cost of divergence under the lockstep warp model
+    divergence_serialized_cycles: float = 0.0
+    #: warp instructions issued under a partial mask (count, not
+    #: cycles) — same semantics as the trace's
+    #: ``divergence_serialized_warp_insts``, so the two fractions are
+    #: directly comparable in the validation harness
+    divergence_serialized_warp_insts: float = 0.0
+    #: warp instructions attributed to *active* warps by the recorded
+    #: stream (the trace's denominator: warps with at least one live
+    #: lane, not the full residency the scheduler walks)
+    active_warp_insts: float = 0.0
 
     @property
     def issue_utilization(self) -> float:
         return self.issue_busy_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def divergence_serialized_fraction(self) -> float:
+        """Share of issued warp instructions under a partial mask
+        (count-based — cycle-weighted cost lives in
+        ``divergence_serialized_cycles``)."""
+        total = self.active_warp_insts or float(self.instructions_issued)
+        if not total:
+            return 0.0
+        return self.divergence_serialized_warp_insts / total
 
 
 class _Warp:
@@ -149,6 +180,19 @@ def simulate_sm(
     # shared across the device's SMs
     bytes_per_cycle_sm = (spec.dram_bandwidth_bytes_per_cycle
                           * t.dram_efficiency / spec.num_sms)
+    # divergence counters are stream-level properties of the recorded
+    # block, replicated across the resident blocks of this SM
+    divergent_branches = float(
+        sum(ev.divergent_warps for ev in stream) * blocks_per_sm)
+    divergence_serialized = float(sum(
+        ev.partial_warps * (t.sfu_cycles_per_warp_inst
+                            if ev.cls in SFU_CLASSES
+                            else t.issue_cycles_per_warp_inst)
+        for ev in stream) * blocks_per_sm)
+    divergence_serialized_insts = float(
+        sum(ev.partial_warps for ev in stream) * blocks_per_sm)
+    active_warp_insts = float(
+        sum(ev.active_warps for ev in stream) * blocks_per_sm)
 
     def barrier_release(block: int, now: float) -> None:
         members = [w for w in warps if w.block == block]
@@ -239,6 +283,10 @@ def simulate_sm(
         issue_busy_cycles=issue_busy,
         mem_busy_cycles=mem_busy,
         instructions_issued=issued,
+        divergent_branches=divergent_branches,
+        divergence_serialized_cycles=divergence_serialized,
+        divergence_serialized_warp_insts=divergence_serialized_insts,
+        active_warp_insts=active_warp_insts,
     )
 
 
@@ -270,6 +318,12 @@ def simulate_launch(result, spec: Optional[DeviceSpec] = None
         issue_busy_cycles=one_wave.issue_busy_cycles * waves,
         mem_busy_cycles=one_wave.mem_busy_cycles * waves,
         instructions_issued=one_wave.instructions_issued * waves,
+        divergent_branches=one_wave.divergent_branches * waves,
+        divergence_serialized_cycles=(
+            one_wave.divergence_serialized_cycles * waves),
+        divergence_serialized_warp_insts=(
+            one_wave.divergence_serialized_warp_insts * waves),
+        active_warp_insts=one_wave.active_warp_insts * waves,
     )
 
 

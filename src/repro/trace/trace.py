@@ -118,6 +118,14 @@ class KernelTrace:
     l2_hits: float = 0.0
     l2_misses: float = 0.0
 
+    # branch divergence (warps whose active lanes disagree on a branch
+    # condition, and the warp-instructions issued under the resulting
+    # partial masks — the serialized-path cost of Section 4's
+    # control-flow discussion)
+    branch_warps: float = 0.0
+    divergent_branch_warps: float = 0.0
+    divergence_serialized_warp_insts: float = 0.0
+
     syncs: float = 0.0
     blocks_traced: int = 0
     threads_traced: float = 0.0
@@ -184,6 +192,19 @@ class KernelTrace:
         stats.useful_bytes += useful_bytes
         stats.coalesced_accesses += coalesced_accesses
 
+    def record_branch(self, warps: float, divergent_warps: float) -> None:
+        """Record a branch executed by ``warps`` warps of which
+        ``divergent_warps`` had active lanes disagreeing on the
+        condition (both sides of the branch serialize for them)."""
+        self.branch_warps += warps
+        self.divergent_branch_warps += divergent_warps
+
+    def record_divergent_issue(self, partial_warps: float) -> None:
+        """Record ``partial_warps`` warp-instruction issues whose mask
+        excluded lanes that are active at full reconvergence — the
+        per-instruction serialization overhead of a divergent region."""
+        self.divergence_serialized_warp_insts += partial_warps
+
     def record_shared_conflict(self, extra_cycles: float) -> None:
         self.shared_conflict_cycles += extra_cycles
 
@@ -234,6 +255,10 @@ class KernelTrace:
         self.l1_misses += other.l1_misses
         self.l2_hits += other.l2_hits
         self.l2_misses += other.l2_misses
+        self.branch_warps += other.branch_warps
+        self.divergent_branch_warps += other.divergent_branch_warps
+        self.divergence_serialized_warp_insts += \
+            other.divergence_serialized_warp_insts
         self.syncs += other.syncs
         self.blocks_traced += other.blocks_traced
         self.threads_traced += other.threads_traced
@@ -267,6 +292,10 @@ class KernelTrace:
         out.l1_misses = self.l1_misses * factor
         out.l2_hits = self.l2_hits * factor
         out.l2_misses = self.l2_misses * factor
+        out.branch_warps = self.branch_warps * factor
+        out.divergent_branch_warps = self.divergent_branch_warps * factor
+        out.divergence_serialized_warp_insts = \
+            self.divergence_serialized_warp_insts * factor
         out.syncs = self.syncs * factor
         out.blocks_traced = self.blocks_traced  # identity of the sample
         out.threads_traced = self.threads_traced * factor
@@ -335,6 +364,24 @@ class KernelTrace:
         return self.gst_useful_bytes / self.gst_bus_bytes
 
     @property
+    def divergent_branch_fraction(self) -> float:
+        """Fraction of branch warp-executions whose active lanes
+        disagreed on the condition (0.0 when no branches ran)."""
+        if self.branch_warps == 0:
+            return 0.0
+        return self.divergent_branch_warps / self.branch_warps
+
+    @property
+    def divergence_serialized_fraction(self) -> float:
+        """Fraction of all warp-instruction issues executed under a
+        divergence-narrowed mask — issue slots whose idle lanes are
+        the serialized other path."""
+        total = self.total_warp_insts
+        if total == 0:
+            return 0.0
+        return self.divergence_serialized_warp_insts / total
+
+    @property
     def coalesced_fraction(self) -> float:
         """Fraction of global transactions that came from fully
         coalesced access groups."""
@@ -363,5 +410,10 @@ class KernelTrace:
             "gst_efficiency": self.gst_efficiency,
             "memory_to_compute_ratio": self.memory_to_compute_ratio,
             "shared_conflict_cycles": self.shared_conflict_cycles,
+            "branch_warps": self.branch_warps,
+            "divergent_branch_warps": self.divergent_branch_warps,
+            "divergent_branch_fraction": self.divergent_branch_fraction,
+            "divergence_serialized_warp_insts":
+                self.divergence_serialized_warp_insts,
             "syncs": self.syncs,
         }

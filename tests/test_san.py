@@ -212,7 +212,7 @@ class TestWarpsimSynccheck:
 class TestCheckCLI:
     def test_broken_sweep_all_caught(self, capsys):
         assert san_check.main(["--broken"]) == 0
-        assert "8 broken kernels, 0 missed" in capsys.readouterr().out
+        assert "10 broken kernels, 0 missed" in capsys.readouterr().out
 
     def test_gated_broken_sweep_fails(self, capsys):
         assert san_check.main(["--broken", "--tool", "memcheck"]) == 1
