@@ -24,16 +24,21 @@ from .census import KernelCensus, census_target
 from .estimate import PerfEstimate, estimate_app, estimate_target
 from .findings import AccessSummary, Finding, KernelReport, Severity
 from .liveness import RegisterEstimate, estimate_registers
-from .rules import analyze_target, sample_coords
+from .rules import (ArrayDataflow, LaunchAccess, LaunchDataflow,
+                    analyze_launch_sequence, analyze_target,
+                    classify_dataflow, launch_dataflow, sample_coords)
 from .targets import LintArray, LintTarget, carr, garr, tarr
 
 __all__ = [
     "AccessSummary",
     "Advice",
     "AdvisorReport",
+    "ArrayDataflow",
     "Finding",
     "KernelCensus",
     "KernelReport",
+    "LaunchAccess",
+    "LaunchDataflow",
     "LintArray",
     "LintTarget",
     "PerfEstimate",
@@ -41,13 +46,16 @@ __all__ = [
     "Severity",
     "advise_app",
     "advise_target",
+    "analyze_launch_sequence",
     "analyze_target",
     "carr",
     "census_target",
+    "classify_dataflow",
     "estimate_app",
     "estimate_registers",
     "estimate_target",
     "garr",
+    "launch_dataflow",
     "sample_coords",
     "tarr",
 ]

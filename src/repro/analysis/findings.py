@@ -114,6 +114,10 @@ class KernelReport:
     batchable_declared: Optional[bool] = None
     #: R8 summary: branch verdict counts + static divergence fractions
     divergence: Dict[str, object] = field(default_factory=dict)
+    #: R6 verdict: ``{"ok": bool, "reason": Optional[str]}`` — whether
+    #: the grid compiler can lower this kernel, and why not when it
+    #: can't (mirrors :func:`repro.compile.compile_status`)
+    compile: Dict[str, object] = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -148,4 +152,5 @@ class KernelReport:
             "batch_hazards": self.batch_hazards,
             "batchable_declared": self.batchable_declared,
             "divergence": self.divergence,
+            "compile": self.compile,
         }

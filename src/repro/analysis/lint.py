@@ -50,8 +50,10 @@ from .rules import RULES, analyze_target
 
 #: version of the ``--json`` envelope; bump on shape changes
 #: (v3 added the top-level "device" field; v4 added the top-level
-#: "rules" catalogue and per-report "divergence" summaries — R8)
-JSON_SCHEMA_VERSION = 4
+#: "rules" catalogue and per-report "divergence" summaries — R8;
+#: v5 added per-report "compile" status — R6's verdict with the
+#: compiler's refusal reason, mirroring ``compile_status``)
+JSON_SCHEMA_VERSION = 5
 
 
 def _finding_sort_key(finding: Finding):

@@ -535,15 +535,20 @@ def rule_batch_safety(hazards: List[HazardEvent], kernel: str,
 # R6: grid compilability
 # ----------------------------------------------------------------------
 
+def _compile_status_safe(kernel) -> Tuple[bool, str]:
+    """``compile_status`` that never raises (analyzer must survive)."""
+    from ..compile import compile_status
+    try:
+        return compile_status(kernel)
+    except Exception as exc:
+        return False, f"{type(exc).__name__}: {exc}"
+
+
 def rule_compilability(kernel, name: str) -> List[Finding]:
     """INFO when the grid compiler cannot lower the kernel — the
     ``compiled`` executor (and ``executor="auto"``) will fall back to
     the batched interpreter for it.  Silent on success."""
-    from ..compile import compile_status
-    try:
-        ok, reason = compile_status(kernel)
-    except Exception as exc:       # analyzer must never die on this
-        ok, reason = False, f"{type(exc).__name__}: {exc}"
+    ok, reason = _compile_status_safe(kernel)
     if ok:
         return []
     return [Finding(
@@ -883,6 +888,8 @@ def analyze_target(target: LintTarget, app: str = "",
     add(occ_findings)
     add(rule_batch_safety(hazards, name, declared))
     add(rule_compilability(kernel, name))
+    ok, reason = _compile_status_safe(kernel)
+    report.compile = {"ok": ok, "reason": None if ok else reason}
     div_findings, div_summary = rule_divergence(kernel, name, census_total)
     add(div_findings)
     report.divergence = div_summary

@@ -52,6 +52,9 @@ class AppRun:
     cpu_params: CpuCostParams = field(default_factory=CpuCostParams)
     kernel_fraction: float = 0.99
     time_steps_scale: float = 1.0
+    #: the :class:`~repro.compile.module.CompiledModule` behind a
+    #: :meth:`Application.run_module` execution, else ``None``
+    module: Optional[object] = None
 
     # ------------------------------------------------------------------
     # GPU side
@@ -217,6 +220,43 @@ class Application(abc.ABC):
         fewer blocks.  Apps that return ``[]`` are skipped by the
         linter."""
         return []
+
+    def module_schedule(self, workload: Dict[str, object],
+                        device: Optional[Device] = None):
+        """Declare this app's launch sequence as a
+        :class:`~repro.compile.module.ModuleSchedule` for whole-
+        application AOT execution: allocate/upload the device arrays,
+        build every :class:`~repro.cuda.plan.LaunchPlan` up front
+        (plan construction is side-effect-free), wrap host logic
+        between launches in ``HostStep`` entries, and return the
+        schedule — or ``None`` (the default) when the app has no
+        multi-launch structure worth fusing; :meth:`run_module` then
+        falls back to :meth:`run`."""
+        return None
+
+    def run_module(self, workload: Optional[Dict[str, object]] = None,
+                   device: Optional[Device] = None,
+                   policy=None) -> AppRun:
+        """Execute through the whole-application AOT module layer
+        (:mod:`repro.compile.module`): capture the declared launch
+        sequence, fuse what the R7 dataflow allows, replay traces for
+        repeated launch configurations, and fall back per launch when
+        fusion is refused.  Apps without a :meth:`module_schedule`
+        run the ordinary functional path — the module layer is always
+        transparent with respect to outputs."""
+        wl = workload if workload is not None \
+            else self.default_workload("test")
+        schedule = self.module_schedule(wl, device)
+        if schedule is None:
+            return self.run(wl, device=device, functional=True)
+        from ..compile.module import CompiledModule
+        module = CompiledModule(schedule, policy=policy)
+        launches = module.execute()
+        outputs = schedule.outputs() if schedule.outputs else {}
+        run = self._finish(wl, launches, schedule.device, outputs,
+                           time_steps_scale=schedule.time_steps_scale)
+        run.module = module
+        return run
 
     # -- helpers --------------------------------------------------------
     def launch(self, kern, grid, block, args=(), executor=None,

@@ -139,6 +139,44 @@ class Fdtd(Application):
                        fields + (nx, ny, 0.5), note="e"),
         ]
 
+    def module_schedule(self, workload: Dict[str, object],
+                        device: Optional[Device] = None):
+        """Declared launch sequence: ``steps`` interleaved H/E update
+        launches over the same three field arrays with no host code
+        between them — the canonical fully-fusable timestep loop
+        (Ez/Hx/Hy are R7 loop-carried and stay device-resident)."""
+        from ..compile.module import ModuleSchedule
+        from ..cuda.plan import LaunchPlan
+        nx, ny = int(workload["nx"]), int(workload["ny"])
+        steps = int(workload["steps"])
+        total = int(workload.get("total_steps", steps))
+        dev = self._make_device(device)
+
+        d_ez = dev.to_device(_initial_ez(nx, ny), "Ez")
+        d_hx = dev.to_device(np.zeros((ny, nx), np.float32), "Hx")
+        d_hy = dev.to_device(np.zeros((ny, nx), np.float32), "Hy")
+        kh, ke = fdtd_h_kernel(), fdtd_e_kernel()
+        grid = (nx // self.BLOCK[0], ny // self.BLOCK[1])
+        tb = int(workload.get("trace_blocks", 2))
+
+        sched = []
+        for _ in range(steps):
+            sched.append(LaunchPlan.build(
+                kh, grid, self.BLOCK, (d_ez, d_hx, d_hy, nx, ny, 0.5, 0.5),
+                device=dev, functional=True, trace_blocks=tb))
+            sched.append(LaunchPlan.build(
+                ke, grid, self.BLOCK, (d_ez, d_hx, d_hy, nx, ny, 0.5),
+                device=dev, functional=True, trace_blocks=tb))
+
+        def outputs() -> Dict[str, np.ndarray]:
+            return {"Ez": dev.from_device(d_ez),
+                    "Hx": dev.from_device(d_hx),
+                    "Hy": dev.from_device(d_hy)}
+
+        return ModuleSchedule(app=self.name, device=dev, steps=sched,
+                              outputs=outputs,
+                              time_steps_scale=total / steps)
+
     def run(self, workload: Dict[str, object],
             device: Optional[Device] = None,
             functional: bool = True) -> AppRun:

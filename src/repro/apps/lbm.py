@@ -202,6 +202,56 @@ class Lbm(Application):
                 note=layout))
         return targets
 
+    def module_schedule(self, workload: Dict[str, object],
+                        device: Optional[Device] = None):
+        """Declared launch sequence: ``steps`` stream-and-collide
+        launches ping-ponging f_a/f_b (the swap is pure Python — no
+        host step needed), except the texture layout whose inter-step
+        D2D copy (re-binding the produced buffer as the next texture)
+        is an explicit :class:`HostStep` fusion barrier."""
+        from ..compile.module import HostStep, ModuleSchedule
+        from ..cuda.plan import LaunchPlan
+        nx, ny = int(workload["nx"]), int(workload["ny"])
+        steps = int(workload["steps"])
+        total = int(workload.get("total_steps", steps))
+        layout = str(workload.get("layout", "soa"))
+        dev = self._make_device(device)
+
+        f0 = self._pack(_initial_f(nx, ny), layout)
+        kern = lbm_step_kernel(layout)
+        grid = (nx * ny // self.BLOCK,)
+        tb = int(workload.get("trace_blocks", 2))
+        inv_tau = np.float32(1.0 / 0.8)
+
+        if layout == "texture":
+            buf_a = dev.to_texture(f0, "f_a")
+            buf_b = dev.alloc(f0.shape, np.float32, "f_b")
+        else:
+            buf_a = dev.to_device(f0, "f_a")
+            buf_b = dev.alloc(f0.shape, np.float32, "f_b")
+
+        sched: List = []
+        src, dst = buf_a, buf_b
+        for _ in range(steps):
+            sched.append(LaunchPlan.build(
+                kern, grid, (self.BLOCK,), (src, dst, nx, ny, inv_tau),
+                device=dev, functional=True, trace_blocks=tb))
+            if layout == "texture":
+                sched.append(HostStep(
+                    lambda s=src, d=dst: s.data.__setitem__(
+                        slice(None), d.data),
+                    note="texture re-bind copy"))
+            else:
+                src, dst = dst, src
+        final = src
+
+        def outputs() -> Dict[str, np.ndarray]:
+            return {"f": self._unpack(final.data.copy(), layout, nx, ny)}
+
+        return ModuleSchedule(app=self.name, device=dev, steps=sched,
+                              outputs=outputs,
+                              time_steps_scale=total / steps)
+
     def run(self, workload: Dict[str, object],
             device: Optional[Device] = None,
             functional: bool = True) -> AppRun:

@@ -16,11 +16,13 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..cuda.launch import Kernel
+from ..obs.registry import get_registry
 from .lower import CompileError, LoweringSession
 from .runtime import NP_SHIM, GridPrelude, prelude_for
 
 __all__ = ["CompiledProgram", "compile_kernel", "get_program",
-           "compile_status", "executable_for", "clear_program_cache"]
+           "compile_status", "executable_for", "clear_program_cache",
+           "plan_context"]
 
 
 @dataclass(frozen=True)
@@ -67,14 +69,39 @@ def compile_kernel(kernel: Kernel) -> CompiledProgram:
         helpers=session.helper_count)
 
 
-def get_program(kernel: Kernel) -> CompiledProgram:
-    """Cached :func:`compile_kernel`; failures are cached too."""
+def get_program(kernel: Kernel,
+                context: Optional[Tuple[str, Tuple]] = None
+                ) -> CompiledProgram:
+    """Cached :func:`compile_kernel`; failures are cached too.
+
+    ``context`` is an optional ``(device name, arg signature)`` pair
+    from a concrete launch plan.  When an artifact cache is active
+    (:func:`repro.compile.artifact.active_artifact_cache`), a memory
+    miss with context first tries the on-disk artifact keyed by
+    ``(kernel source hash, device, signature, compiler version)`` —
+    the cold-process path that skips lowering entirely — and a fresh
+    compile is written back for the next process.
+    """
     cached = _PROGRAMS.get(kernel.fn)
+    if isinstance(cached, CompileError):
+        # a previously-recorded refusal: the negative cache answered
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("compile.negative_cache_hits",
+                             kernel=kernel.name).inc()
+        raise cached
     if cached is None:
-        try:
-            cached = compile_kernel(kernel)
-        except CompileError as exc:
-            cached = exc
+        from .artifact import active_artifact_cache
+        disk = active_artifact_cache()
+        if disk is not None and context is not None:
+            cached = disk.load(kernel, *context)
+        if cached is None:
+            try:
+                cached = compile_kernel(kernel)
+                if disk is not None and context is not None:
+                    disk.store(kernel, cached, *context)
+            except CompileError as exc:
+                cached = exc
         try:
             _PROGRAMS[kernel.fn] = cached
         except TypeError:          # unweakrefable callable: skip cache
@@ -84,10 +111,12 @@ def get_program(kernel: Kernel) -> CompiledProgram:
     return cached
 
 
-def compile_status(kernel: Kernel) -> Tuple[bool, str]:
+def compile_status(kernel: Kernel,
+                   context: Optional[Tuple[str, Tuple]] = None
+                   ) -> Tuple[bool, str]:
     """Non-raising probe: ``(ok, reason)``; reason empty on success."""
     try:
-        get_program(kernel)
+        get_program(kernel, context)
     except CompileError as exc:
         return False, str(exc)
     return True, ""
@@ -95,7 +124,13 @@ def compile_status(kernel: Kernel) -> Tuple[bool, str]:
 
 def executable_for(plan) -> Tuple[CompiledProgram, GridPrelude]:
     """Program plus the (cached) grid prelude for one launch plan."""
-    return get_program(plan.kernel), prelude_for(plan.grid, plan.block)
+    return (get_program(plan.kernel, plan_context(plan)),
+            prelude_for(plan.grid, plan.block))
+
+
+def plan_context(plan) -> Tuple[str, Tuple]:
+    """The artifact-cache context of one launch plan."""
+    return (plan.spec.name, plan.arg_signature())
 
 
 def clear_program_cache() -> None:

@@ -44,7 +44,9 @@ from ``None`` / ``"sequential"`` / ``"batched"`` / ``"compiled"`` /
 
 from __future__ import annotations
 
+import contextlib
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
@@ -421,11 +423,12 @@ class CompiledExecutor(Executor):
     def _run(self, plan, collector: TraceCollector) -> int:
         from ..compile import (CompileError, GridRT, get_program,
                                prelude_for)
+        from ..compile.program import plan_context
         registry = get_registry()
         program = None
         if plan.functional:
             try:
-                program = get_program(plan.kernel)
+                program = get_program(plan.kernel, plan_context(plan))
             except CompileError:
                 pass
         if program is None:
@@ -662,25 +665,120 @@ EXECUTORS = {
 
 #: grids with fewer untraced blocks than this go straight to the
 #: sequential backend under ``"auto"`` — below the width at which
-#: batching/compilation amortizes its per-launch bookkeeping
+#: batching/compilation amortizes its per-launch bookkeeping.
+#: (Kept as a module constant for backward compatibility; the live
+#: value is :class:`ExecutorPolicy.min_vector_blocks`.)
 MIN_VECTOR_BLOCKS = 4
 
 
-def choose_executor(plan) -> Executor:
+@dataclass(frozen=True)
+class ExecutorPolicy:
+    """Every auto-policy knob in one place, env-overridable.
+
+    The defaults reproduce the historical behaviour; processes that
+    need different thresholds set the environment variables below (CI
+    does, tests do) or install a policy with :func:`set_policy` /
+    :func:`use_policy`.
+
+    ==========================  =================================
+    field                       environment variable
+    ==========================  =================================
+    ``min_vector_blocks``       ``REPRO_MIN_VECTOR_BLOCKS``
+    ``min_fuse_steps``          ``REPRO_MIN_FUSE_STEPS``
+    ``module_trace_replay``     ``REPRO_MODULE_TRACE_REPLAY`` (0/1)
+    artifact cache directory    ``REPRO_AOT_CACHE`` (see
+                                :mod:`repro.compile.artifact`)
+    ==========================  =================================
+    """
+
+    #: untraced-block floor below which ``"auto"`` stays sequential
+    min_vector_blocks: int = MIN_VECTOR_BLOCKS
+    #: minimum run of compilable launches worth fusing into a module
+    #: group (a "fused group" of one launch is just a launch)
+    min_fuse_steps: int = 2
+    #: replay recorded traces for repeated launch configs inside a
+    #: fused module group instead of re-tracing sample blocks
+    module_trace_replay: bool = True
+
+    @classmethod
+    def from_env(cls, env=None) -> "ExecutorPolicy":
+        import os
+        env = os.environ if env is None else env
+
+        def _int(key: str, default: int) -> int:
+            raw = env.get(key)
+            if raw is None:
+                return default
+            try:
+                return int(raw)
+            except ValueError:
+                raise CudaModelError(
+                    f"{key}={raw!r} is not an integer") from None
+
+        def _bool(key: str, default: bool) -> bool:
+            raw = env.get(key)
+            if raw is None:
+                return default
+            return raw.strip().lower() not in ("0", "false", "no", "")
+
+        return cls(
+            min_vector_blocks=_int("REPRO_MIN_VECTOR_BLOCKS",
+                                   MIN_VECTOR_BLOCKS),
+            min_fuse_steps=_int("REPRO_MIN_FUSE_STEPS", 2),
+            module_trace_replay=_bool("REPRO_MODULE_TRACE_REPLAY", True),
+        )
+
+
+_POLICY: Optional[ExecutorPolicy] = None
+
+
+def get_policy() -> ExecutorPolicy:
+    """The process-wide :class:`ExecutorPolicy` (env-derived once)."""
+    global _POLICY
+    if _POLICY is None:
+        _POLICY = ExecutorPolicy.from_env()
+    return _POLICY
+
+
+def set_policy(policy: Optional[ExecutorPolicy]
+               ) -> Optional[ExecutorPolicy]:
+    """Install a policy (``None`` re-derives from the environment on
+    next use); returns the previous one."""
+    global _POLICY
+    previous = _POLICY
+    _POLICY = policy
+    return previous
+
+
+@contextlib.contextmanager
+def use_policy(policy: ExecutorPolicy):
+    """Scoped :func:`set_policy` (tests)."""
+    previous = set_policy(policy)
+    try:
+        yield policy
+    finally:
+        set_policy(previous)
+
+
+def choose_executor(plan,
+                    policy: Optional[ExecutorPolicy] = None) -> Executor:
     """The ``"auto"`` policy, fastest-first:
 
     1. tiny grids (fewer untraced blocks than the vectorization floor)
        run sequentially — nothing to amortize;
     2. batchable kernels the grid compiler has (or can build) a
-       program for run compiled;
+       program for run compiled — including programs loaded from the
+       on-disk artifact cache when one is active;
     3. batchable kernels it cannot lower run batched;
     4. everything else runs on the reference backend.
     """
     from ..compile import compile_status
+    from ..compile.program import plan_context
+    policy = policy or get_policy()
     untraced = plan.num_blocks - len(plan.traced)
     if plan.functional and plan.kernel.batchable \
-            and untraced >= MIN_VECTOR_BLOCKS:
-        if compile_status(plan.kernel)[0]:
+            and untraced >= policy.min_vector_blocks:
+        if compile_status(plan.kernel, plan_context(plan))[0]:
             return CompiledExecutor()
         return BatchedExecutor()
     return SequentialExecutor()

@@ -274,7 +274,9 @@ class TestLintCli:
     def test_json_output_parses(self, capsys):
         assert lint_main(["matmul", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 4
+        assert payload["schema_version"] == 5
+        for report in payload["reports"]:
+            assert report["compile"] == {"ok": True, "reason": None}
         assert payload["device"] == "geforce_8800_gtx"
         reports = payload["reports"]
         assert {r["note"] for r in reports} == \

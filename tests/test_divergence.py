@@ -362,7 +362,7 @@ def test_lint_json_envelope_carries_rules(capsys):
     import json
     assert lint_main(["saxpy", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
-    assert payload["schema_version"] == 4
+    assert payload["schema_version"] == 5
     assert [r["id"] for r in payload["rules"]] \
         == [r.id for r in RULES]
 

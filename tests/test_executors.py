@@ -168,6 +168,22 @@ def test_every_app_identical_under_compiled(name):
                           executors=("sequential", "compiled"))
 
 
+@pytest.mark.parametrize("name", list(ALL_APPS))
+def test_every_app_identical_under_module(name):
+    """The same sweep through the whole-application AOT module path
+    (:meth:`Application.run_module`): fused execution, trace replay and
+    per-launch fallback must all stay observationally identical to the
+    sequential reference — apps without a declared schedule fall back
+    to the ordinary functional run."""
+    workload = ALL_APPS[name]().default_workload("test")
+    ref = _app_outputs(ALL_APPS[name](), dict(workload), "sequential")
+    mod = ALL_APPS[name]().run_module(dict(workload))
+    assert set(ref.outputs) == set(mod.outputs)
+    for key in ref.outputs:
+        np.testing.assert_array_equal(ref.outputs[key], mod.outputs[key])
+    assert ref.merged_trace.summary() == mod.merged_trace.summary()
+
+
 # ----------------------------------------------------------------------
 # The functional=False + trace=False regression (old silent no-op)
 # ----------------------------------------------------------------------

@@ -19,7 +19,7 @@ def test_suite_lints_clean_on_device(device, capsys):
     rc = lint_main(["--json", "--fail-on", "high", "--device", device])
     payload = json.loads(capsys.readouterr().out)
     assert rc == 0
-    assert payload["schema_version"] == JSON_SCHEMA_VERSION == 4
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION == 5
     assert payload["device"] == device
     covered = {report["app"] for report in payload["reports"]}
     assert covered == set(app_names())
